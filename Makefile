@@ -1,0 +1,46 @@
+# Braidio build and reproduction targets. Stdlib-only Go; everything runs
+# offline.
+
+GO ?= go
+
+.PHONY: all build test vet race fuzz bench repro csv examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the frame codec (extend -fuzztime for deeper runs).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=10s ./internal/frame
+
+# Regenerate every table and figure as testing.B benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Print every reproduced artifact to stdout.
+repro:
+	$(GO) run ./cmd/braidio-bench
+
+# Write machine-readable CSVs for all artifacts to out/.
+csv:
+	$(GO) run ./cmd/braidio-bench -csv out/ > /dev/null
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/wearable-sync
+	$(GO) run ./examples/camera-stream
+	$(GO) run ./examples/regime-explorer
+	$(GO) run ./examples/body-hub
+
+clean:
+	rm -rf out/ test_output.txt bench_output.txt

@@ -1,0 +1,271 @@
+package braidio
+
+import (
+	"braidio/internal/baseline"
+	"braidio/internal/core"
+	"braidio/internal/energy"
+	"braidio/internal/hub"
+	"braidio/internal/mac"
+	"braidio/internal/phy"
+	"braidio/internal/sim"
+	"braidio/internal/units"
+)
+
+// Core types, aliased from the implementation packages so users of this
+// package never need an internal import path.
+type (
+	// Mode is one of Braidio's three operating modes.
+	Mode = phy.Mode
+	// Regime is an operating regime of Fig. 8 (which modes reach).
+	Regime = phy.Regime
+	// Model is the calibrated link-level channel model.
+	Model = phy.Model
+	// Link characterizes one mode at a distance: rate, BER, goodput,
+	// and per-bit costs at both endpoints.
+	Link = phy.ModeLink
+	// Allocation is a carrier-offload solution: the fraction of traffic
+	// per mode.
+	Allocation = core.Allocation
+	// Result summarizes a braid run: bits moved, drains, mode mix,
+	// switches.
+	Result = core.Result
+	// Device is a catalog entry (name and battery capacity).
+	Device = energy.Device
+	// Battery is a drainable energy budget.
+	Battery = energy.Battery
+	// Matrix is a device×device gain matrix (Figs. 15–17).
+	Matrix = sim.Matrix
+	// Session is the packet-level braided MAC session.
+	Session = mac.Session
+	// SessionConfig parameterizes a Session.
+	SessionConfig = mac.Config
+	// Bluetooth is the Table 1 baseline radio model.
+	Bluetooth = baseline.Bluetooth
+
+	// Meter is a distance in meters.
+	Meter = units.Meter
+	// Watt is a power in watts.
+	Watt = units.Watt
+	// Joule is an energy in joules.
+	Joule = units.Joule
+	// WattHour is a battery capacity unit.
+	WattHour = units.WattHour
+	// BitRate is a link speed in bits/second.
+	BitRate = units.BitRate
+)
+
+// The three operating modes, named after the receiver state.
+const (
+	// ModeActive runs a carrier at both ends.
+	ModeActive = phy.ModeActive
+	// ModePassive runs the carrier at the transmitter only.
+	ModePassive = phy.ModePassive
+	// ModeBackscatter runs the carrier at the receiver only.
+	ModeBackscatter = phy.ModeBackscatter
+)
+
+// The operating regimes of Fig. 8.
+const (
+	// RegimeA has all three links available.
+	RegimeA = phy.RegimeA
+	// RegimeB has lost backscatter.
+	RegimeB = phy.RegimeB
+	// RegimeC has only the active link.
+	RegimeC = phy.RegimeC
+	// OutOfRange has no usable link.
+	OutOfRange = phy.OutOfRange
+)
+
+// Calibrated bitrates of the prototype links.
+const (
+	Rate1M   = units.Rate1M
+	Rate100k = units.Rate100k
+	Rate10k  = units.Rate10k
+)
+
+// NewModel returns the calibrated PHY model of two Braidio boards in
+// free space — the paper's cleared-room setting.
+func NewModel() *Model { return phy.NewModel() }
+
+// Devices returns the Fig. 1 device catalog (ten devices from the Nike
+// Fuel Band to the MacBook Pro 15), ordered by battery capacity.
+func Devices() []Device { return energy.Catalog }
+
+// DeviceByName looks up a catalog device.
+func DeviceByName(name string) (Device, bool) { return energy.DeviceByName(name) }
+
+// CustomDevice builds a device with an arbitrary battery capacity for
+// scenarios beyond the catalog.
+func CustomDevice(name string, capacity WattHour) Device {
+	return Device{Name: name, Capacity: capacity, Class: "custom"}
+}
+
+// BluetoothBaseline returns the Bluetooth radio the evaluation compares
+// against.
+func BluetoothBaseline() Bluetooth { return baseline.Default }
+
+// Pair is the high-level API: two devices at a distance, ready to
+// transfer data through the braided radio.
+type Pair struct {
+	// TX transmits to RX.
+	TX, RX Device
+	// Distance separates them.
+	Distance Meter
+
+	model *Model
+	braid *core.Braid
+}
+
+// Option customizes a Pair.
+type Option func(*Pair)
+
+// WithModel substitutes a custom channel model (e.g. with a fade margin
+// or ARQ loss accounting).
+func WithModel(m *Model) Option {
+	return func(p *Pair) { p.model = m }
+}
+
+// WithoutSwitchOverhead disables Table 5 mode-switch energy accounting.
+func WithoutSwitchOverhead() Option {
+	return func(p *Pair) { p.braid.IncludeSwitchOverhead = false }
+}
+
+// NewPair creates a transfer pair. The zero configuration uses the
+// calibrated free-space model with switch overheads on.
+func NewPair(tx, rx Device, d Meter, opts ...Option) *Pair {
+	model := phy.NewModel()
+	p := &Pair{TX: tx, RX: rx, Distance: d, model: model, braid: core.NewBraid(model, d)}
+	for _, o := range opts {
+		o(p)
+	}
+	p.braid.Model = p.model
+	p.braid.Distance = p.Distance
+	return p
+}
+
+// Model returns the pair's channel model.
+func (p *Pair) Model() *Model { return p.model }
+
+// Regime reports which operating regime the pair sits in.
+func (p *Pair) Regime() Regime { return p.model.Regime(p.Distance) }
+
+// Links characterizes the modes available to the pair.
+func (p *Pair) Links() []Link { return p.model.Characterize(p.Distance) }
+
+// Plan returns the carrier-offload allocation for the pair's full
+// batteries without running a transfer.
+func (p *Pair) Plan() (*Allocation, error) {
+	return core.Optimize(p.Links(), p.TX.Capacity.Joules(), p.RX.Capacity.Joules())
+}
+
+// Transfer streams data from TX to RX, both starting with full
+// batteries, until one dies. It returns the braid result.
+func (p *Pair) Transfer() (*Result, error) {
+	p.braid.MaxBits = 0
+	return p.braid.RunFresh(p.TX.Capacity, p.RX.Capacity)
+}
+
+// TransferBits moves a bounded number of payload bits (or less, if a
+// battery dies first) between full batteries.
+func (p *Pair) TransferBits(bits float64) (*Result, error) {
+	p.braid.MaxBits = bits
+	defer func() { p.braid.MaxBits = 0 }()
+	return p.braid.RunFresh(p.TX.Capacity, p.RX.Capacity)
+}
+
+// Resume continues a transfer over existing (partially drained)
+// batteries, draining them further.
+func (p *Pair) Resume(txBatt, rxBatt *Battery) (*Result, error) {
+	p.braid.MaxBits = 0
+	return p.braid.Run(txBatt, rxBatt)
+}
+
+// GainVsBluetooth runs the pair and reports the total-bits gain over the
+// Bluetooth baseline — one cell of Fig. 15.
+func (p *Pair) GainVsBluetooth() (float64, error) {
+	r, err := sim.RunPair(p.model, p.Distance, p.TX, p.RX)
+	if err != nil {
+		return 0, err
+	}
+	return r.GainVsBluetooth(), nil
+}
+
+// GainVsBestMode runs the pair and reports the gain over the best single
+// mode used exclusively — one cell of Fig. 16.
+func (p *Pair) GainVsBestMode() (float64, error) {
+	r, err := sim.RunPair(p.model, p.Distance, p.TX, p.RX)
+	if err != nil {
+		return 0, err
+	}
+	return r.GainVsBestMode(), nil
+}
+
+// NewSession opens a packet-level braided MAC session for the pair with
+// fresh batteries: frame-by-frame transfer with probing, loss,
+// retransmission, and fallback. The seed drives the stochastic channel.
+func (p *Pair) NewSession(seed uint64) (*Session, error) {
+	cfg := mac.DefaultConfig(p.model, p.Distance, seed)
+	return mac.NewSession(cfg, energy.NewBattery(p.TX.Capacity), energy.NewBattery(p.RX.Capacity))
+}
+
+// GainMatrix computes the Fig. 15 matrix — Braidio over Bluetooth for
+// every transmitter/receiver combination of the given devices (the
+// catalog, if nil) at the given distance.
+func GainMatrix(d Meter, devices []Device) (*Matrix, error) {
+	if devices == nil {
+		devices = energy.Catalog
+	}
+	return sim.GainMatrixBluetooth(phy.NewModel(), d, devices)
+}
+
+// GainMatrixBestMode computes the Fig. 16 matrix — Braidio over the best
+// of its own modes in isolation.
+func GainMatrixBestMode(d Meter, devices []Device) (*Matrix, error) {
+	if devices == nil {
+		devices = energy.Catalog
+	}
+	return sim.GainMatrixBestMode(phy.NewModel(), d, devices)
+}
+
+// GainMatrixBidirectional computes the Fig. 17 matrix — role-swapping
+// traffic with equal data both ways.
+func GainMatrixBidirectional(d Meter, devices []Device) (*Matrix, error) {
+	if devices == nil {
+		devices = energy.Catalog
+	}
+	return sim.GainMatrixBidirectional(phy.NewModel(), d, devices)
+}
+
+// Hub types: the multi-device star network extension (one energy-rich
+// hub serving several wearables over braided pairs).
+type (
+	// Hub is a star network of braided pairs sharing the hub's battery.
+	Hub = hub.Hub
+	// HubMember is one wearable served by a Hub.
+	HubMember = hub.Member
+	// HubResult is the outcome of a Hub run.
+	HubResult = hub.Result
+)
+
+// NewHub creates a star network centred on the given device using the
+// calibrated channel model.
+func NewHub(device Device) *Hub { return hub.New(device, nil) }
+
+// Duplex is the packet-level bidirectional session (two Sessions wired
+// crosswise over shared batteries).
+type Duplex = mac.Duplex
+
+// NewDuplex opens a bidirectional packet-level session between the
+// pair's devices with fresh batteries.
+func (p *Pair) NewDuplex(seed uint64) (*Duplex, error) {
+	cfg := mac.DefaultConfig(p.model, p.Distance, seed)
+	return mac.NewDuplex(cfg, energy.NewBattery(p.TX.Capacity), energy.NewBattery(p.RX.Capacity))
+}
+
+// PlanQoS returns the carrier-offload allocation with a minimum
+// delivered-throughput floor (the QoS extension of Eq. 1): a real-time
+// source that needs at least minRate cannot absorb slow backscatter
+// slots, so the braid sheds them at the price of power proportionality.
+func (p *Pair) PlanQoS(minRate BitRate) (*Allocation, error) {
+	return core.OptimizeQoS(p.Links(), p.TX.Capacity.Joules(), p.RX.Capacity.Joules(), minRate)
+}

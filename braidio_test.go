@@ -1,0 +1,284 @@
+package braidio
+
+import (
+	"math"
+	"testing"
+)
+
+func mustDevice(t *testing.T, name string) Device {
+	t.Helper()
+	d, ok := DeviceByName(name)
+	if !ok {
+		t.Fatalf("device %q missing from catalog", name)
+	}
+	return d
+}
+
+func TestDevicesCatalog(t *testing.T) {
+	if len(Devices()) != 10 {
+		t.Fatalf("catalog has %d devices, want 10", len(Devices()))
+	}
+	if _, ok := DeviceByName("Pebble Watch"); !ok {
+		t.Error("Pebble Watch missing")
+	}
+}
+
+func TestCustomDevice(t *testing.T) {
+	d := CustomDevice("drone", 30)
+	if d.Capacity != 30 || d.Name != "drone" {
+		t.Errorf("custom device = %+v", d)
+	}
+	p := NewPair(d, mustDevice(t, "iPhone 6S"), 0.5)
+	if _, err := p.Transfer(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairTransferEndToEnd(t *testing.T) {
+	watch := mustDevice(t, "Apple Watch")
+	phone := mustDevice(t, "iPhone 6S")
+	p := NewPair(watch, phone, 0.5)
+
+	if p.Regime() != RegimeA {
+		t.Errorf("regime at 0.5 m = %v, want A", p.Regime())
+	}
+	if got := len(p.Links()); got != 3 {
+		t.Errorf("links = %d, want 3", got)
+	}
+
+	plan, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watch is the small battery and it transmits: backscatter should
+	// dominate the plan.
+	if plan.Fraction(ModeBackscatter) < 0.8 {
+		t.Errorf("backscatter fraction = %v, want dominant", plan.Fraction(ModeBackscatter))
+	}
+
+	res, err := p.Transfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits <= 0 {
+		t.Fatal("no bits transferred")
+	}
+	// Power proportionality: drains in roughly the battery ratio.
+	wantRatio := float64(watch.Capacity / phone.Capacity)
+	gotRatio := float64(res.Drain1 / res.Drain2)
+	if math.Abs(math.Log(gotRatio/wantRatio)) > 0.05 {
+		t.Errorf("drain ratio %v, want ≈%v", gotRatio, wantRatio)
+	}
+}
+
+func TestPairTransferBits(t *testing.T) {
+	p := NewPair(mustDevice(t, "Apple Watch"), mustDevice(t, "iPhone 6S"), 0.5)
+	res, err := p.TransferBits(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Bits-1e9)/1e9 > 0.01 {
+		t.Errorf("bounded transfer moved %v bits, want ≈1e9", res.Bits)
+	}
+	// A second full Transfer is unaffected by the earlier bound.
+	full, err := p.Transfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Bits <= res.Bits*10 {
+		t.Errorf("full transfer %v bits suspiciously small", full.Bits)
+	}
+}
+
+func TestPairResume(t *testing.T) {
+	watch := mustDevice(t, "Apple Watch")
+	phone := mustDevice(t, "iPhone 6S")
+	p := NewPair(watch, phone, 0.5)
+	b1 := watch.NewBattery()
+	b2 := phone.NewBattery()
+	b1.Drain(b1.Capacity() / 2)
+	res, err := p.Resume(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b1.Empty() && !b2.Empty() {
+		t.Error("resume did not run to exhaustion")
+	}
+	if res.Bits <= 0 {
+		t.Error("no bits on resume")
+	}
+}
+
+func TestPairGains(t *testing.T) {
+	fuel := mustDevice(t, "Nike Fuel Band")
+	mbp := mustDevice(t, "MacBook Pro 15")
+	p := NewPair(fuel, mbp, 0.5)
+	g, err := p.GainVsBluetooth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 300 {
+		t.Errorf("corner gain vs Bluetooth = %v, want hundreds", g)
+	}
+	gb, err := p.GainVsBestMode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb < 0.99 || gb > 1.1 {
+		t.Errorf("corner gain vs best mode = %v, want ≈1", gb)
+	}
+}
+
+func TestWithModelOption(t *testing.T) {
+	m := NewModel()
+	m.FadeMargin = 6
+	p := NewPair(mustDevice(t, "Apple Watch"), mustDevice(t, "iPhone 6S"), 2.2, WithModel(m))
+	// 6 dB of fading shrinks the round-trip backscatter range by
+	// 10^(6/40) ≈ 1.4× (2.4 m → 1.7 m), killing it at 2.2 m, while the
+	// one-way passive link (5.1 m → 2.55 m) survives.
+	if p.Regime() != RegimeB {
+		t.Errorf("faded regime at 2.2 m = %v, want B", p.Regime())
+	}
+	if NewPair(mustDevice(t, "Apple Watch"), mustDevice(t, "iPhone 6S"), 2.2).Regime() != RegimeA {
+		t.Error("unfaded regime at 2.2 m should be A")
+	}
+}
+
+func TestWithoutSwitchOverheadOption(t *testing.T) {
+	watch := mustDevice(t, "Apple Watch")
+	with := NewPair(watch, watch, 0.5)
+	without := NewPair(watch, watch, 0.5, WithoutSwitchOverhead())
+	rw, err := with.Transfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := without.Transfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.SwitchEnergy1 != 0 {
+		t.Error("switch energy recorded with overhead disabled")
+	}
+	if ro.Bits < rw.Bits {
+		t.Error("disabling overhead reduced throughput")
+	}
+}
+
+func TestPairSession(t *testing.T) {
+	p := NewPair(mustDevice(t, "Apple Watch"), mustDevice(t, "iPhone 6S"), 0.5)
+	s, err := p.NewSession(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := s.SendFrame(200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().FramesDelivered != 100 {
+		t.Errorf("delivered %d frames, want 100", s.Stats().FramesDelivered)
+	}
+}
+
+func TestBluetoothBaselineExported(t *testing.T) {
+	b := BluetoothBaseline()
+	if b.PowerRatio() != 1 {
+		t.Errorf("baseline power ratio = %v, want symmetric", b.PowerRatio())
+	}
+}
+
+func TestGainMatrixSmall(t *testing.T) {
+	devs := []Device{mustDevice(t, "Apple Watch"), mustDevice(t, "iPhone 6S")}
+	m, err := GainMatrix(0.5, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 2 || len(m.Cells[0]) != 2 {
+		t.Fatalf("matrix shape wrong: %v", m.Cells)
+	}
+	diag := m.Diagonal()
+	for _, g := range diag {
+		if math.Abs(g-1.43) > 0.08 {
+			t.Errorf("diagonal gain %v, want ≈1.43", g)
+		}
+	}
+	bm, err := GainMatrixBestMode(0.5, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Max() > 2 {
+		t.Errorf("best-mode matrix max %v, want bounded by ~1.8", bm.Max())
+	}
+	bi, err := GainMatrixBidirectional(0.5, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.Max() < 1 {
+		t.Errorf("bidirectional matrix max %v", bi.Max())
+	}
+}
+
+func TestPairPlanQoS(t *testing.T) {
+	band := mustDevice(t, "Nike Fuel Band")
+	phone := mustDevice(t, "iPhone 6S")
+	p := NewPair(band, phone, 2.0)
+	plain, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qos, err := p.PlanQoS(300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qos.Throughput() < 300_000*0.999 {
+		t.Errorf("QoS throughput = %v, want ≥300 kbps", qos.Throughput())
+	}
+	if qos.Bits > plain.Bits {
+		t.Error("rate floor should not increase delivered bits")
+	}
+}
+
+func TestPairModelAccessorAndNilCatalog(t *testing.T) {
+	watch := mustDevice(t, "Apple Watch")
+	p := NewPair(watch, watch, 0.5)
+	if p.Model() == nil {
+		t.Fatal("nil model")
+	}
+	if p.Model().Regime(0.5) != RegimeA {
+		t.Error("model accessor returned the wrong model")
+	}
+}
+
+func TestPairDuplex(t *testing.T) {
+	watch := mustDevice(t, "Apple Watch")
+	phone := mustDevice(t, "iPhone 6S")
+	d, err := NewPair(watch, phone, 0.5).NewDuplex(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.Exchange(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("exchange delivered %d of 2", n)
+	}
+	a, b := d.Drains()
+	if a <= 0 || b <= 0 {
+		t.Error("no drains after an exchange")
+	}
+}
+
+func TestGainErrorsOutOfRange(t *testing.T) {
+	watch := mustDevice(t, "Apple Watch")
+	p := NewPair(watch, watch, 5000)
+	if _, err := p.GainVsBluetooth(); err == nil {
+		t.Error("out-of-range gain should error")
+	}
+	if _, err := p.GainVsBestMode(); err == nil {
+		t.Error("out-of-range best-mode gain should error")
+	}
+	if _, err := GainMatrix(5000, []Device{watch}); err == nil {
+		t.Error("out-of-range matrix should error")
+	}
+}

@@ -1,0 +1,98 @@
+package braidio
+
+// CLI smoke tests: build and run each command the repository ships,
+// asserting their headline output. Guarded by -short since each run
+// compiles a binary.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIBenchList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runCLI(t, "./cmd/braidio-bench", "-list")
+	for _, want := range []string{"fig15", "table5", "ext-harvest", "ablation-solver"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench -list missing %q", want)
+		}
+	}
+}
+
+func TestCLIBenchSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runCLI(t, "./cmd/braidio-bench", "-exp", "fig9")
+	if !strings.Contains(out, "1:2546") || !strings.Contains(out, "3546:1") {
+		t.Errorf("fig9 report missing the headline ratios:\n%s", out)
+	}
+}
+
+func TestCLISim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runCLI(t, "./cmd/braidio-sim", "-tx", "Nike Fuel Band", "-rx", "MacBook Pro 15", "-d", "0.5")
+	if !strings.Contains(out, "gain vs Bluetooth") {
+		t.Errorf("sim output missing gain line:\n%s", out)
+	}
+	if !strings.Contains(out, "backscatter") {
+		t.Errorf("sim output missing mode breakdown:\n%s", out)
+	}
+}
+
+func TestCLILink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runCLI(t, "./cmd/braidio-link")
+	for _, want := range []string{"Operational ranges", "Regime boundaries", "1.80 m", "2.40 m"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("link output missing %q", want)
+		}
+	}
+}
+
+func TestCLIField(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runCLI(t, "./cmd/braidio-field", "-grid", "11")
+	if !strings.Contains(out, "worst case with diversity") {
+		t.Errorf("field output missing diversity summary:\n%s", out)
+	}
+}
+
+func TestCLIExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, ex := range []struct{ path, want string }{
+		{"./examples/quickstart", "planned mode mix"},
+		{"./examples/wearable-sync", "improvement"},
+		{"./examples/camera-stream", "gain over Bluetooth"},
+		{"./examples/regime-explorer", "Regime"},
+		{"./examples/body-hub", "hub radio bill"},
+		{"./examples/qos-stream", "300 kbps floor"},
+	} {
+		out := runCLI(t, ex.path)
+		if !strings.Contains(out, ex.want) {
+			t.Errorf("%s output missing %q:\n%s", ex.path, ex.want, out)
+		}
+	}
+}

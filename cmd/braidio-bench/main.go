@@ -1,0 +1,74 @@
+// Command braidio-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	braidio-bench -list
+//	braidio-bench                 # run everything
+//	braidio-bench -exp fig15,fig9 # run a subset
+//	braidio-bench -csv out/       # also write CSV files
+//
+// Each experiment prints a structured report: the paper's claim, the
+// measured headline numbers, and the regenerated tables/curves/matrices.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"braidio/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	exp := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+	csvDir := flag.String("csv", "", "also write CSV files to this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "braidio-bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		rep, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braidio-bench: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "braidio-bench: render %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *csvDir != "" {
+			if err := rep.WriteCSV(*csvDir); err != nil {
+				fmt.Fprintf(os.Stderr, "braidio-bench: csv %s: %v\n", e.ID, err)
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

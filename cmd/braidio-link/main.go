@@ -1,0 +1,98 @@
+// Command braidio-link characterizes the three Braidio links: BER vs
+// distance per mode and bitrate, operational ranges, and the regime
+// boundaries of Fig. 8.
+//
+// Usage:
+//
+//	braidio-link                 # range table + regime boundaries
+//	braidio-link -curves         # also print the BER curves
+//	braidio-link -fade 6         # add a 6 dB fade margin
+//	braidio-link -arq            # ARQ loss accounting in the cost table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"braidio"
+	"braidio/internal/ascii"
+	"braidio/internal/phy"
+	"braidio/internal/stats"
+	"braidio/internal/units"
+)
+
+func main() {
+	curves := flag.Bool("curves", false, "print ASCII BER curves")
+	fade := flag.Float64("fade", 0, "fade margin in dB")
+	arq := flag.Bool("arq", false, "use ARQ (frame retransmission) loss accounting")
+	flag.Parse()
+
+	model := braidio.NewModel()
+	model.FadeMargin = units.DB(*fade)
+	model.Retransmit = *arq
+
+	fmt.Println("Operational ranges (BER < 1%):")
+	rows := [][]string{}
+	for _, mode := range phy.Modes {
+		rates := phy.Rates[:]
+		if mode == phy.ModeActive {
+			rates = []units.BitRate{units.Rate1M}
+		}
+		for _, rate := range rates {
+			rows = append(rows, []string{
+				mode.String(), rate.String(),
+				fmt.Sprintf("%.2f m", float64(model.Range(mode, rate))),
+			})
+		}
+	}
+	ascii.Table(os.Stdout, []string{"Mode", "Rate", "Range"}, rows)
+
+	fmt.Println("\nRegime boundaries:")
+	prev := model.Regime(0.1)
+	fmt.Printf("%8.2f m  %v\n", 0.1, prev)
+	for d := 0.1; d <= 8.0; d += 0.01 {
+		if r := model.Regime(units.Meter(d)); r != prev {
+			fmt.Printf("%8.2f m  %v\n", d, r)
+			prev = r
+		}
+	}
+
+	fmt.Println("\nPer-bit costs by distance:")
+	rows = rows[:0]
+	for _, d := range []units.Meter{0.3, 0.95, 1.85, 2.45, 4.0, 5.2} {
+		for _, l := range model.Characterize(d) {
+			rows = append(rows, []string{
+				fmt.Sprintf("%.2f m", float64(d)),
+				l.Mode.String(), l.Rate.String(),
+				fmt.Sprintf("%.3g nJ", float64(l.T)*1e9),
+				fmt.Sprintf("%.3g nJ", float64(l.R)*1e9),
+			})
+		}
+	}
+	ascii.Table(os.Stdout, []string{"Distance", "Mode", "Rate", "TX/bit", "RX/bit"}, rows)
+
+	if *curves {
+		for _, mode := range []phy.Mode{phy.ModeBackscatter, phy.ModePassive} {
+			for _, rate := range phy.Rates {
+				var s stats.Series
+				for d := 0.1; d <= 6; d += 0.05 {
+					ber := model.BER(mode, rate, units.Meter(d))
+					if ber < 1e-6 {
+						ber = 1e-6
+					}
+					s = append(s, stats.Point{X: d, Y: logb(ber)})
+				}
+				fmt.Println()
+				title := fmt.Sprintf("%v @ %v: log10(BER) vs distance (m)", mode, rate)
+				if err := ascii.LineChart(os.Stdout, s, 64, 10, title); err != nil {
+					fmt.Fprintf(os.Stderr, "braidio-link: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+func logb(x float64) float64 { return math.Log10(x) }

@@ -1,0 +1,164 @@
+// Command braidio-sim simulates a Braidio link between two devices and
+// reports the carrier-offload behaviour: the mode allocation, the bits
+// delivered until a battery dies, the energy split, and the gains over
+// the Bluetooth and best-single-mode baselines.
+//
+// Usage:
+//
+//	braidio-sim -tx "Apple Watch" -rx "iPhone 6S" -d 0.5
+//	braidio-sim -tx "Nike Fuel Band" -rx "MacBook Pro 15" -d 0.5 -bidir
+//	braidio-sim -list                              # device catalog
+//	braidio-sim -txwh 0.5 -rxwh 80 -d 1.2          # custom capacities
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"braidio"
+	"braidio/internal/ascii"
+	"braidio/internal/energy"
+	"braidio/internal/mac"
+	"braidio/internal/phy"
+	"braidio/internal/sim"
+)
+
+func main() {
+	txName := flag.String("tx", "Apple Watch", "transmitting device (catalog name)")
+	rxName := flag.String("rx", "iPhone 6S", "receiving device (catalog name)")
+	txWh := flag.Float64("txwh", 0, "override transmitter capacity in Wh")
+	rxWh := flag.Float64("rxwh", 0, "override receiver capacity in Wh")
+	dist := flag.Float64("d", 0.5, "distance in meters")
+	bidir := flag.Bool("bidir", false, "bidirectional transfer (equal data both ways)")
+	matrix := flag.Bool("matrix", false, "print the full device-pair gain matrix (Fig. 15) and exit")
+	tracePath := flag.String("trace", "", "run a packet-level session and write a per-frame CSV trace to this file")
+	traceFrames := flag.Int("frames", 2000, "frames to send in -trace mode")
+	list := flag.Bool("list", false, "list the device catalog and exit")
+	flag.Parse()
+
+	if *list {
+		rows := [][]string{}
+		for _, d := range braidio.Devices() {
+			rows = append(rows, []string{d.Name, d.Class, fmt.Sprintf("%.2f Wh", float64(d.Capacity))})
+		}
+		ascii.Table(os.Stdout, []string{"Device", "Class", "Capacity"}, rows)
+		return
+	}
+
+	if *matrix {
+		printMatrix(braidio.Meter(*dist))
+		return
+	}
+
+	tx := lookup(*txName, *txWh, "tx")
+	rx := lookup(*rxName, *rxWh, "rx")
+	model := braidio.NewModel()
+	d := braidio.Meter(*dist)
+
+	fmt.Printf("%s (%.2f Wh) → %s (%.2f Wh) at %.2f m — regime %v\n\n",
+		tx.Name, float64(tx.Capacity), rx.Name, float64(rx.Capacity), *dist, model.Regime(d))
+
+	links := model.Characterize(d)
+	rows := [][]string{}
+	for _, l := range links {
+		rows = append(rows, []string{
+			l.Mode.String(), l.Rate.String(),
+			fmt.Sprintf("%.2g", l.BER),
+			fmt.Sprintf("%.3g", l.T.BitsPerJoule()),
+			fmt.Sprintf("%.3g", l.R.BitsPerJoule()),
+		})
+	}
+	ascii.Table(os.Stdout, []string{"Mode", "Rate", "BER", "TX bits/J", "RX bits/J"}, rows)
+	fmt.Println()
+
+	if *tracePath != "" {
+		runTrace(tx, rx, d, *tracePath, *traceFrames)
+		return
+	}
+
+	if *bidir {
+		res, err := sim.RunBidirectional(model, d, tx, rx)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("bidirectional bits: %.4g (Bluetooth: %.4g) — gain %.3g× over %d role swaps\n",
+			res.Bits, res.BluetoothBits, res.Gain(), res.Rounds)
+		return
+	}
+
+	pr, err := sim.RunPair(model, d, tx, rx)
+	if err != nil {
+		fail(err)
+	}
+	res := pr.Braidio
+	fmt.Printf("bits delivered: %.4g in %.3g s over %d braid epochs\n", res.Bits, float64(res.Duration), res.Epochs)
+	fmt.Printf("energy: %s spent %.4g J, %s spent %.4g J (ratio %.3g, budgets %.3g)\n",
+		tx.Name, float64(res.Drain1), rx.Name, float64(res.Drain2),
+		float64(res.Drain1/res.Drain2), float64(tx.Capacity/rx.Capacity))
+	for _, m := range phy.Modes {
+		if f := res.ModeFraction(m); f > 0 {
+			fmt.Printf("mode %-12s %5.1f%% of bits\n", m, 100*f)
+		}
+	}
+	fmt.Printf("switches: %d (%.3g J total overhead)\n", res.Switches,
+		float64(res.SwitchEnergy1+res.SwitchEnergy2))
+	fmt.Printf("gain vs Bluetooth:        %.3g×\n", pr.GainVsBluetooth())
+	fmt.Printf("gain vs best single mode: %.3g× (best: %v)\n", pr.GainVsBestMode(), pr.BestMode)
+}
+
+// runTrace drives a packet-level MAC session and writes its per-frame
+// CSV trace.
+func runTrace(tx, rx braidio.Device, d braidio.Meter, path string, frames int) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	cfg := mac.DefaultConfig(braidio.NewModel(), d, 1)
+	cfg.Trace = f
+	s, err := mac.NewSession(cfg, energy.NewBattery(tx.Capacity), energy.NewBattery(rx.Capacity))
+	if err != nil {
+		fail(err)
+	}
+	for i := 0; i < frames && !s.Dead(); i++ {
+		if _, err := s.SendFrame(240); err != nil {
+			fail(err)
+		}
+	}
+	st := s.Stats()
+	fmt.Printf("traced %d frames to %s (%d switches, %d fallbacks, %d retransmissions)\n",
+		st.FramesDelivered, path, st.ModeSwitches, st.Fallbacks, st.Retransmissions)
+}
+
+// printMatrix renders the Fig. 15 gain heatmap at the given distance.
+func printMatrix(d braidio.Meter) {
+	mat, err := braidio.GainMatrix(d, nil)
+	if err != nil {
+		fail(err)
+	}
+	labels := make([]string, len(mat.Devices))
+	for i, dev := range mat.Devices {
+		labels[i] = dev.Name
+	}
+	fmt.Printf("gain over Bluetooth at %.2f m (column transmits to row):\n\n", float64(d))
+	if err := ascii.Heatmap(os.Stdout, labels, labels, mat.Cells, "%.3g"); err != nil {
+		fail(err)
+	}
+}
+
+func lookup(name string, overrideWh float64, role string) braidio.Device {
+	if overrideWh > 0 {
+		return braidio.CustomDevice(fmt.Sprintf("custom-%s", role), braidio.WattHour(overrideWh))
+	}
+	d, ok := braidio.DeviceByName(name)
+	if !ok {
+		fail(fmt.Errorf("unknown device %q (try -list)", name))
+	}
+	return d
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "braidio-sim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Package braidio is a simulation-backed implementation of Braidio, the
+// integrated active-passive radio for mobile devices with asymmetric
+// energy budgets (Hu, Zhang, Rostami, Ganesan — SIGCOMM 2016).
+//
+// # What Braidio is
+//
+// Mobile devices differ in battery capacity by three orders of magnitude
+// (a laptop vs a fitness band), yet conventional radios burn roughly the
+// same power at both ends of a link. Braidio makes the power burden of
+// communication movable: it integrates an active (BLE-style) transceiver
+// with a passive backscatter front end — an RF charge pump, an
+// instrumentation amplifier, a comparator, a SAW filter, and a pair of
+// diversity antennas — so a link can run in three modes, named after
+// where the carrier lives:
+//
+//   - Active: both ends run a carrier (a normal radio link).
+//   - Passive: only the transmitter runs a carrier; the receiver is a
+//     near-zero-power envelope detector.
+//   - Backscatter: only the receiver runs a carrier; the transmitter is
+//     a reflecting tag drawing tens of microwatts.
+//
+// The carrier-offload layer braids these modes — interleaving them in
+// computed proportions — so two endpoints consume energy in proportion
+// to what each has. The supported transmitter:receiver power ratios span
+// 1:2546 to 3546:1, seven orders of magnitude.
+//
+// # What this module contains
+//
+// The paper's artifact is hardware; this module reproduces the system as
+// a calibrated simulation (the paper's own evaluation, §6.3, is driven
+// by exactly such a simulator built from link characterization). The
+// public API in this package fronts:
+//
+//   - the calibrated PHY (modes, ranges, bitrates, per-bit costs),
+//   - the carrier-offload optimizer (Eq. 1 of the paper),
+//   - the braid engine (drain two batteries power-proportionally),
+//   - the packet-level MAC (probing, fallback, retransmission),
+//   - the evaluation scenarios (the gain matrices and sweeps of
+//     Figs. 15–18) and their Bluetooth / best-single-mode baselines.
+//
+// The substrates — link budgets, fading, the charge-pump circuit
+// simulation, the analog front-end models, the phase-cancellation field
+// maps — live in internal packages and surface through the experiment
+// runners in cmd/braidio-bench.
+//
+// # Quick start
+//
+//	watch, _ := braidio.DeviceByName("Apple Watch")
+//	phone, _ := braidio.DeviceByName("iPhone 6S")
+//	pair := braidio.NewPair(watch, phone, 0.5)
+//	res, err := pair.Transfer()
+//	if err != nil { ... }
+//	fmt.Printf("moved %.0f bits; watch spent %v J, phone %v J\n",
+//		res.Bits, res.Drain1, res.Drain2)
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// paper-vs-reproduction numbers.
+package braidio

@@ -1,0 +1,87 @@
+package braidio_test
+
+import (
+	"fmt"
+
+	"braidio"
+)
+
+// ExampleNewPair shows the core workflow: pair two devices, plan the
+// carrier offload, and run a transfer.
+func ExampleNewPair() {
+	watch, _ := braidio.DeviceByName("Apple Watch")
+	phone, _ := braidio.DeviceByName("iPhone 6S")
+
+	pair := braidio.NewPair(watch, phone, 0.5)
+	plan, err := pair.Plan()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// The phone has ~8× the energy, so the plan leans on backscatter:
+	// the watch reflects the phone's carrier.
+	fmt.Printf("dominant mode: %v\n", plan.Dominant())
+	fmt.Printf("regime: %v\n", pair.Regime())
+	// Output:
+	// dominant mode: backscatter
+	// regime: A (all links)
+}
+
+// ExamplePair_Plan shows how the allocation tracks the battery ratio.
+func ExamplePair_Plan() {
+	band, _ := braidio.DeviceByName("Nike Fuel Band")
+	laptop, _ := braidio.DeviceByName("MacBook Pro 15")
+
+	// A tiny transmitter feeding a huge receiver: pure backscatter.
+	plan, err := braidio.NewPair(band, laptop, 0.5).Plan()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("backscatter share: %.0f%%\n", 100*plan.Fraction(braidio.ModeBackscatter))
+
+	// The reverse direction: the huge laptop transmits, so it carries
+	// the carrier and the band listens passively.
+	plan, err = braidio.NewPair(laptop, band, 0.5).Plan()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("passive share: %.0f%%\n", 100*plan.Fraction(braidio.ModePassive))
+	// Output:
+	// backscatter share: 100%
+	// passive share: 100%
+}
+
+// ExampleModel_Regime walks through the operating regimes of Fig. 8.
+func ExampleModel_Regime() {
+	m := braidio.NewModel()
+	for _, d := range []braidio.Meter{0.5, 3, 6} {
+		fmt.Printf("%.1f m: %v\n", float64(d), m.Regime(d))
+	}
+	// Output:
+	// 0.5 m: A (all links)
+	// 3.0 m: B (active+passive)
+	// 6.0 m: C (active only)
+}
+
+// ExampleNewHub builds a small body-area star network.
+func ExampleNewHub() {
+	phone, _ := braidio.DeviceByName("iPhone 6S")
+	watch, _ := braidio.DeviceByName("Apple Watch")
+
+	h := braidio.NewHub(phone)
+	if err := h.Add(braidio.HubMember{Device: watch, Distance: 0.4, Load: 5000}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := h.Run(3600, 4) // one hour in four rounds
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("delivered %.1f MB; hub paid %.0f%% of the bill\n",
+		res.TotalBits()/8e6, 100*res.Members[0].HubShare())
+	// Output:
+	// delivered 2.2 MB; hub paid 89% of the bill
+}

@@ -1,0 +1,86 @@
+// QoS-stream: the tension between power proportionality and a live
+// deadline. A fitness band streams real-time audio/telemetry to a phone
+// while the user walks around the room. At 2 m the backscatter link only
+// decodes at 10 kbps; pure power-proportional braiding would schedule
+// those slow slots and the stream would stall. PlanQoS adds a
+// minimum-throughput floor to Eq. 1 and the braid sheds what the
+// deadline cannot absorb — paying with the band's lifetime.
+//
+// Run with:
+//
+//	go run ./examples/qos-stream
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"braidio"
+	"braidio/internal/ascii"
+)
+
+func main() {
+	band, _ := braidio.DeviceByName("Nike Fuel Band")
+	phone, _ := braidio.DeviceByName("iPhone 6S")
+
+	fmt.Println("Nike Fuel Band → iPhone 6S, live stream needing 300 kbps:")
+	fmt.Println()
+
+	header := []string{"Distance", "Plan (unconstrained)", "Throughput", "Plan (300 kbps floor)", "Throughput", "Lifetime cost"}
+	rows := [][]string{}
+	for _, d := range []braidio.Meter{0.5, 1.2, 2.0} {
+		pair := braidio.NewPair(band, phone, d)
+		plain, err := pair.Plan()
+		if err != nil {
+			log.Fatal(err)
+		}
+		qos, err := pair.PlanQoS(300_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f m", float64(d)),
+			mix(plain),
+			plain.Throughput().String(),
+			mix(qos),
+			qos.Throughput().String(),
+			fmt.Sprintf("%+.1f%%", 100*(qos.Bits/plain.Bits-1)),
+		})
+	}
+	if err := ascii.Table(os.Stdout, header, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("reading: at short range all modes run 1 Mbps, so the floor is free. In the")
+	fmt.Println("100 kbps/10 kbps backscatter regimes the unconstrained plan's throughput")
+	fmt.Println("collapses below the stream rate; the QoS plan keeps the deadline by trading")
+	fmt.Println("away a slice of the band's radio lifetime.")
+}
+
+// mix summarizes an allocation's mode fractions.
+func mix(a *braidio.Allocation) string {
+	out := ""
+	for _, m := range []braidio.Mode{braidio.ModeActive, braidio.ModePassive, braidio.ModeBackscatter} {
+		if f := a.Fraction(m); f > 0.005 {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s:%.0f%%", short(m), 100*f)
+		}
+	}
+	return out
+}
+
+// short abbreviates a mode name.
+func short(m braidio.Mode) string {
+	switch m {
+	case braidio.ModeActive:
+		return "act"
+	case braidio.ModePassive:
+		return "pas"
+	default:
+		return "bs"
+	}
+}

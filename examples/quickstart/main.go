@@ -1,0 +1,58 @@
+// Quickstart: pair two devices, run one transfer, and look at where the
+// energy went.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"braidio"
+)
+
+func main() {
+	watch, ok := braidio.DeviceByName("Apple Watch")
+	if !ok {
+		log.Fatal("catalog missing Apple Watch")
+	}
+	phone, ok := braidio.DeviceByName("iPhone 6S")
+	if !ok {
+		log.Fatal("catalog missing iPhone 6S")
+	}
+
+	// The watch (0.78 Wh) streams sensor data to the phone (6.55 Wh)
+	// from half a meter away.
+	pair := braidio.NewPair(watch, phone, 0.5)
+
+	// What will the carrier-offload layer do? The phone has ~8× the
+	// energy, so it should carry the burden: the watch transmits mostly
+	// by backscattering the phone's carrier.
+	plan, err := pair.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("planned mode mix:")
+	for _, mode := range []braidio.Mode{braidio.ModeActive, braidio.ModePassive, braidio.ModeBackscatter} {
+		fmt.Printf("  %-12s %5.1f%%\n", mode, 100*plan.Fraction(mode))
+	}
+
+	// Run the transfer until one battery dies.
+	res, err := pair.Transfer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndelivered %.3g bits (%.3g GB)\n", res.Bits, res.Bits/8e9)
+	fmt.Printf("watch spent %.1f J, phone spent %.1f J — ratio %.2f vs battery ratio %.2f\n",
+		float64(res.Drain1), float64(res.Drain2),
+		float64(res.Drain1/res.Drain2), float64(watch.Capacity/phone.Capacity))
+
+	// How much better is that than Bluetooth?
+	gain, err := pair.GainVsBluetooth()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("that is %.2f× the bits Bluetooth would have moved\n", gain)
+}

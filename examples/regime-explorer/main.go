@@ -1,0 +1,101 @@
+// Regime-explorer: walk two Braidio radios apart and watch the operating
+// region evolve (Figs. 8 and 14) — which links survive, at which
+// bitrates, what TX:RX power asymmetry is still achievable, and what the
+// offload layer would do for a concrete battery pairing at each step.
+//
+// Run with:
+//
+//	go run ./examples/regime-explorer
+//	go run ./examples/regime-explorer -tx "Pebble Watch" -rx "Surface Book"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"braidio"
+	"braidio/internal/ascii"
+	"braidio/internal/core"
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+func main() {
+	txName := flag.String("tx", "Apple Watch", "transmitting device")
+	rxName := flag.String("rx", "iPhone 6S", "receiving device")
+	flag.Parse()
+
+	tx, ok := braidio.DeviceByName(*txName)
+	if !ok {
+		log.Fatalf("unknown device %q", *txName)
+	}
+	rx, ok := braidio.DeviceByName(*rxName)
+	if !ok {
+		log.Fatalf("unknown device %q", *rxName)
+	}
+
+	model := braidio.NewModel()
+	fmt.Printf("%s (%.2f Wh) → %s (%.2f Wh), walking from 0.3 m to 6 m\n\n",
+		tx.Name, float64(tx.Capacity), rx.Name, float64(rx.Capacity))
+
+	header := []string{"Distance", "Regime", "Links (mode@rate)", "Ratio span", "Offload mix", "Gain vs BT"}
+	rows := [][]string{}
+	for _, d := range []units.Meter{0.3, 0.6, 0.95, 1.5, 1.85, 2.3, 2.45, 3.0, 4.0, 4.5, 5.0, 5.2, 6.0} {
+		region := core.RegionAt(model, d)
+		links := ""
+		for i, p := range region.Points {
+			if i > 0 {
+				links += " "
+			}
+			links += fmt.Sprintf("%v@%v", shortMode(p.Mode), p.Rate)
+		}
+		min, max := region.RatioSpan()
+		span := fmt.Sprintf("%.3g..%.3g", min, max)
+
+		mix := "—"
+		gain := "—"
+		alloc, err := core.Optimize(model.Characterize(d), tx.Capacity.Joules(), rx.Capacity.Joules())
+		if err == nil {
+			mix = ""
+			for _, mode := range phy.Modes {
+				if f := alloc.Fraction(mode); f > 0.005 {
+					if mix != "" {
+						mix += " "
+					}
+					mix += fmt.Sprintf("%s:%.0f%%", shortMode(mode), 100*f)
+				}
+			}
+			pair := braidio.NewPair(tx, rx, d)
+			if g, err := pair.GainVsBluetooth(); err == nil {
+				gain = fmt.Sprintf("%.3g×", g)
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f m", float64(d)),
+			model.Regime(d).String(),
+			links, span, mix, gain,
+		})
+	}
+	if err := ascii.Table(os.Stdout, header, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nhow to read this: in regime A the carrier can live at either end, so the")
+	fmt.Println("offload layer braids passive and backscatter to match the battery ratio; in")
+	fmt.Println("regime B only the receiver can go passive; in regime C Braidio degenerates")
+	fmt.Println("to a symmetric active radio and the gain approaches 1×.")
+}
+
+func shortMode(m phy.Mode) string {
+	switch m {
+	case phy.ModeActive:
+		return "act"
+	case phy.ModePassive:
+		return "pas"
+	case phy.ModeBackscatter:
+		return "bs"
+	}
+	return m.String()
+}

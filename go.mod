@@ -1,0 +1,3 @@
+module braidio
+
+go 1.22

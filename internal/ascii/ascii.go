@@ -1,0 +1,303 @@
+// Package ascii renders the experiment outputs — tables, device-matrix
+// heatmaps, and line charts — as plain text for the terminal, plus CSV
+// for downstream plotting. No dependencies beyond the standard library,
+// matching the module's offline constraint.
+package ascii
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"braidio/internal/stats"
+)
+
+// Table renders rows under a header with columns padded to the widest
+// cell. An empty header renders rows only.
+func Table(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if l := len([]rune(cell)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len([]rune(cell)); pad > 0 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if len(header) > 0 {
+		if err := writeRow(header); err != nil {
+			return err
+		}
+		rule := make([]string, len(header))
+		for i := range rule {
+			rule[i] = strings.Repeat("-", widths[i])
+		}
+		if err := writeRow(rule); err != nil {
+			return err
+		}
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes a header and rows as comma-separated values, quoting cells
+// that contain commas or quotes.
+func CSV(w io.Writer, header []string, rows [][]string) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if len(header) > 0 {
+		if err := writeRow(header); err != nil {
+			return err
+		}
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// heatRamp maps a normalized value in [0,1] to a shading glyph.
+var heatRamp = []rune(" .:-=+*#%@")
+
+// Heatmap renders a matrix of values as shaded cells with the value
+// printed inside, log-scaling the shading when the dynamic range spans
+// more than two decades (as the Fig. 15 gains do).
+func Heatmap(w io.Writer, rowLabels, colLabels []string, cells [][]float64, format string) error {
+	if format == "" {
+		format = "%.3g"
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, row := range cells {
+		for _, v := range row {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+	}
+	logScale := min > 0 && max/min > 100
+	norm := func(v float64) float64 {
+		if max == min {
+			return 0.5
+		}
+		if logScale {
+			return math.Log(v/min) / math.Log(max/min)
+		}
+		return (v - min) / (max - min)
+	}
+	header := append([]string{""}, colLabels...)
+	rows := make([][]string, len(cells))
+	for i, row := range cells {
+		out := make([]string, len(row)+1)
+		if i < len(rowLabels) {
+			out[0] = rowLabels[i]
+		}
+		for j, v := range row {
+			shade := heatRamp[int(norm(v)*float64(len(heatRamp)-1)+0.5)]
+			out[j+1] = fmt.Sprintf("%c%s", shade, fmt.Sprintf(format, v))
+		}
+		rows[i] = out
+	}
+	return Table(w, header, rows)
+}
+
+// LineChart renders a series as a fixed-size ASCII plot with axis
+// annotations. Y values of -Inf are clipped to the plot floor.
+func LineChart(w io.Writer, s stats.Series, width, height int, title string) error {
+	if width < 10 || height < 3 {
+		return fmt.Errorf("ascii: chart too small (%dx%d)", width, height)
+	}
+	if len(s) == 0 {
+		return fmt.Errorf("ascii: empty series")
+	}
+	minX, maxX := s[0].X, s[len(s)-1].X
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range s {
+		if math.IsInf(p.Y, 0) {
+			continue
+		}
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if math.IsInf(minY, 0) {
+		return fmt.Errorf("ascii: series has no finite values")
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for x := 0; x < width; x++ {
+		frac := float64(x) / float64(width-1)
+		y := s.Interpolate(minX + frac*(maxX-minX))
+		if math.IsInf(y, -1) {
+			y = minY
+		}
+		ry := int((y - minY) / (maxY - minY) * float64(height-1))
+		if ry < 0 {
+			ry = 0
+		}
+		if ry >= height {
+			ry = height - 1
+		}
+		grid[height-1-ry][x] = '*'
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%.3g", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%.3g", minY)
+		}
+		if _, err := fmt.Fprintf(w, "%10s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%10s  %-10.3g%*s\n", "", minX, width-10, fmt.Sprintf("%.3g", maxX))
+	return err
+}
+
+// SeriesCSV writes one or more named series as long-format CSV
+// (series,x,y).
+func SeriesCSV(w io.Writer, names []string, series []stats.Series) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("ascii: %d names for %d series", len(names), len(series))
+	}
+	rows := make([][]string, 0)
+	for i, s := range series {
+		for _, p := range s {
+			rows = append(rows, []string{names[i], fmt.Sprintf("%g", p.X), fmt.Sprintf("%g", p.Y)})
+		}
+	}
+	return CSV(w, []string{"series", "x", "y"}, rows)
+}
+
+// chartGlyphs distinguish series in MultiChart.
+var chartGlyphs = []rune{'*', '+', 'o', 'x', '#', '@'}
+
+// MultiChart renders up to six series on one set of axes, each with its
+// own glyph, plus a legend — used to overlay the with/without-diversity
+// curves of Fig. 6 or the two BER curves of Fig. 12.
+func MultiChart(w io.Writer, names []string, series []stats.Series, width, height int, title string) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("ascii: %d names for %d series", len(names), len(series))
+	}
+	if len(series) == 0 || len(series) > len(chartGlyphs) {
+		return fmt.Errorf("ascii: MultiChart supports 1–%d series, got %d", len(chartGlyphs), len(series))
+	}
+	if width < 10 || height < 3 {
+		return fmt.Errorf("ascii: chart too small (%dx%d)", width, height)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s) == 0 {
+			return fmt.Errorf("ascii: empty series")
+		}
+		minX = math.Min(minX, s[0].X)
+		maxX = math.Max(maxX, s[len(s)-1].X)
+		for _, p := range s {
+			if math.IsInf(p.Y, 0) {
+				continue
+			}
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minY, 0) {
+		return fmt.Errorf("ascii: no finite values")
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := chartGlyphs[si]
+		for x := 0; x < width; x++ {
+			frac := float64(x) / float64(width-1)
+			y := s.Interpolate(minX + frac*(maxX-minX))
+			if math.IsInf(y, -1) {
+				y = minY
+			}
+			ry := int((y - minY) / (maxY - minY) * float64(height-1))
+			if ry < 0 {
+				ry = 0
+			}
+			if ry >= height {
+				ry = height - 1
+			}
+			grid[height-1-ry][x] = g
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	for i, name := range names {
+		if _, err := fmt.Fprintf(w, "%12c %s\n", chartGlyphs[i], name); err != nil {
+			return err
+		}
+	}
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%.3g", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%.3g", minY)
+		}
+		if _, err := fmt.Fprintf(w, "%10s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%10s  %-10.3g%*s\n", "", minX, width-10, fmt.Sprintf("%.3g", maxX))
+	return err
+}

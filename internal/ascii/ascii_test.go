@@ -1,0 +1,178 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+
+	"braidio/internal/stats"
+)
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, []string{"Mode", "TX", "RX"}, [][]string{
+		{"active", "105 mW", "100 mW"},
+		{"backscatter", "16.5 µW", "129 mW"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Mode") || !strings.Contains(lines[0], "TX") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "backscatter") {
+		t.Errorf("row missing: %q", lines[3])
+	}
+	// Columns align: "TX" appears at the same offset in header and rows.
+	col := strings.Index(lines[0], "TX")
+	if lines[2][col-1] == 0 {
+		t.Error("unreachable")
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	var b strings.Builder
+	if err := Table(&b, nil, [][]string{{"a", "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "a  b\n" {
+		t.Errorf("no-header table = %q", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, []string{"name", "value"}, [][]string{
+		{"plain", "1"},
+		{"with,comma", "2"},
+		{`with"quote`, "3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestHeatmapLogScale(t *testing.T) {
+	var b strings.Builder
+	err := Heatmap(&b,
+		[]string{"r1", "r2"},
+		[]string{"c1", "c2"},
+		[][]float64{{1.43, 397}, {299, 1.43}},
+		"%.3g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "397") || !strings.Contains(out, "1.43") {
+		t.Errorf("heatmap missing values:\n%s", out)
+	}
+	// Large values shade darker than small ones.
+	if !strings.Contains(out, "@397") && !strings.Contains(out, "%397") {
+		t.Errorf("max cell not darkest:\n%s", out)
+	}
+	if !strings.Contains(out, " 1.43") {
+		t.Errorf("min cell not lightest:\n%s", out)
+	}
+}
+
+func TestHeatmapUniform(t *testing.T) {
+	var b strings.Builder
+	if err := Heatmap(&b, []string{"r"}, []string{"c"}, [][]float64{{5}}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "5") {
+		t.Error("uniform heatmap lost its value")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	s := stats.Series{{X: 0, Y: 0}, {X: 5, Y: 10}, {X: 10, Y: 0}}
+	var b strings.Builder
+	if err := LineChart(&b, s, 40, 8, "triangle"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "triangle") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data points plotted")
+	}
+	if !strings.Contains(out, "10") {
+		t.Error("y-axis max label missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 { // title + 8 rows + x axis
+		t.Errorf("chart has %d lines, want 10:\n%s", len(lines), out)
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	var b strings.Builder
+	if err := LineChart(&b, stats.Series{{X: 0, Y: 1}}, 5, 2, ""); err == nil {
+		t.Error("tiny chart accepted")
+	}
+	if err := LineChart(&b, nil, 40, 8, ""); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	err := SeriesCSV(&b,
+		[]string{"a", "b"},
+		[]stats.Series{{{X: 1, Y: 2}}, {{X: 3, Y: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "series,x,y\na,1,2\nb,3,4\n"
+	if b.String() != want {
+		t.Errorf("SeriesCSV = %q, want %q", b.String(), want)
+	}
+	if err := SeriesCSV(&b, []string{"a"}, nil); err == nil {
+		t.Error("mismatched names accepted")
+	}
+}
+
+func TestMultiChart(t *testing.T) {
+	a := stats.Series{{X: 0, Y: 0}, {X: 10, Y: 10}}
+	b := stats.Series{{X: 0, Y: 10}, {X: 10, Y: 0}}
+	var buf strings.Builder
+	if err := MultiChart(&buf, []string{"up", "down"}, []stats.Series{a, b}, 40, 8, "cross"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cross", "up", "down", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("MultiChart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMultiChartErrors(t *testing.T) {
+	var buf strings.Builder
+	s := stats.Series{{X: 0, Y: 1}}
+	if err := MultiChart(&buf, []string{"a"}, nil, 40, 8, ""); err == nil {
+		t.Error("mismatched inputs accepted")
+	}
+	if err := MultiChart(&buf, nil, nil, 40, 8, ""); err == nil {
+		t.Error("zero series accepted")
+	}
+	if err := MultiChart(&buf, []string{"a"}, []stats.Series{s}, 2, 2, ""); err == nil {
+		t.Error("tiny chart accepted")
+	}
+	if err := MultiChart(&buf, []string{"a", "b"}, []stats.Series{s, {}}, 40, 8, ""); err == nil {
+		t.Error("empty series accepted")
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"braidio/internal/energy"
+	"braidio/internal/frame"
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+// Braid runs the carrier-offload layer against a pair of batteries: it
+// periodically re-solves the allocation for the current energy levels
+// (§4.2: "Braidio also periodically re-computes the ratio"), executes the
+// braided schedule, charges mode-switch overheads, and drains both sides
+// until one dies.
+type Braid struct {
+	// Model is the calibrated PHY.
+	Model *phy.Model
+	// Distance between the endpoints.
+	Distance units.Meter
+	// ScheduleWindow is the number of frames per scheduling window.
+	ScheduleWindow int
+	// EpochFraction is the fraction of the currently projected lifetime
+	// transferred between allocation re-computations.
+	EpochFraction float64
+	// IncludeSwitchOverhead charges the Table 5 energies per mode
+	// transition. The ablation bench turns this off.
+	IncludeSwitchOverhead bool
+	// Interleave uses the even-spread schedule instead of the default
+	// contiguous blocks; it smooths instantaneous drain at the price of
+	// a switch per frame boundary (the scheduler ablation).
+	Interleave bool
+	// Optimizer picks the allocation each epoch; nil means Optimize.
+	// The Fig. 16 baseline passes BestSingleMode-derived optimizers.
+	Optimizer func(links []phy.ModeLink, e1, e2 units.Joule) (*Allocation, error)
+	// MaxBits, when positive, stops the run after that many delivered
+	// bits instead of waiting for a battery to die — used to interleave
+	// directions in bidirectional scenarios.
+	MaxBits float64
+}
+
+// NewBraid returns a Braid with the defaults used by the evaluation.
+func NewBraid(m *phy.Model, d units.Meter) *Braid {
+	return &Braid{
+		Model:                 m,
+		Distance:              d,
+		ScheduleWindow:        128,
+		EpochFraction:         0.02,
+		IncludeSwitchOverhead: true,
+	}
+}
+
+// Result summarizes a braid run.
+type Result struct {
+	// Bits is the total payload bits delivered.
+	Bits float64
+	// Duration is the on-air time spent.
+	Duration units.Second
+	// Drain1 and Drain2 are the energies drawn at transmitter and
+	// receiver.
+	Drain1, Drain2 units.Joule
+	// ModeBits attributes delivered bits to modes.
+	ModeBits map[phy.Mode]float64
+	// Switches counts mode transitions; SwitchEnergy1/2 their cost.
+	Switches                     int
+	SwitchEnergy1, SwitchEnergy2 units.Joule
+	// Epochs counts allocation re-computations.
+	Epochs int
+}
+
+// ModeFraction returns the fraction of bits carried by a mode.
+func (r *Result) ModeFraction(m phy.Mode) float64 {
+	if r.Bits == 0 {
+		return 0
+	}
+	return r.ModeBits[m] / r.Bits
+}
+
+// ErrOutOfRange reports that no mode works at the configured distance.
+var ErrOutOfRange = errors.New("core: no mode available at this distance")
+
+// Run drains the two batteries (b1 at the data transmitter, b2 at the
+// data receiver) until either is empty, returning the totals. The
+// batteries are mutated.
+func (b *Braid) Run(b1, b2 *energy.Battery) (*Result, error) {
+	if b.Model == nil || b1 == nil || b2 == nil {
+		return nil, errors.New("core: braid needs a model and two batteries")
+	}
+	if b.ScheduleWindow < 1 || b.EpochFraction <= 0 || b.EpochFraction > 1 {
+		return nil, fmt.Errorf("core: invalid braid parameters window=%d epoch=%v", b.ScheduleWindow, b.EpochFraction)
+	}
+	links := b.Model.Characterize(b.Distance)
+	if len(links) == 0 {
+		return nil, ErrOutOfRange
+	}
+	optimize := b.Optimizer
+	if optimize == nil {
+		optimize = Optimize
+	}
+
+	payloadBits := float64(8 * b.Model.PayloadLen)
+	res := &Result{ModeBits: make(map[phy.Mode]float64)}
+	prevMode := phy.ModeActive // sessions start on the active radio (§4.2)
+
+	const maxEpochs = 1_000_000
+	for !b1.Empty() && !b2.Empty() {
+		if res.Epochs >= maxEpochs {
+			return nil, errors.New("core: braid failed to converge")
+		}
+		alloc, err := optimize(links, b1.Remaining(), b2.Remaining())
+		if err != nil {
+			return nil, err
+		}
+		if alloc.Bits <= 0 || math.IsNaN(alloc.Bits) {
+			break
+		}
+		res.Epochs++
+
+		// Target bits this epoch: a slice of the projected lifetime, at
+		// least one scheduling window so the loop always advances.
+		epochBits := alloc.Bits * b.EpochFraction
+		if min := payloadBits * float64(b.ScheduleWindow); epochBits < min {
+			epochBits = min
+		}
+		if b.MaxBits > 0 {
+			left := b.MaxBits - res.Bits
+			if left <= 0 {
+				break
+			}
+			if epochBits > left {
+				epochBits = left
+			}
+		}
+
+		// Expand one scheduling window to cost the braiding precisely.
+		var seq []phy.Mode
+		if b.Interleave {
+			seq = Schedule(alloc.Links, alloc.P, b.ScheduleWindow)
+		} else {
+			seq = ScheduleBlocks(alloc.Links, alloc.P, b.ScheduleWindow)
+		}
+		windowBits := payloadBits * float64(b.ScheduleWindow)
+		windows := epochBits / windowBits
+
+		// Per-window energies: data plus (optionally) switch overheads.
+		var winTX, winRX, winTime float64
+		counts := make(map[phy.Mode]int, len(alloc.Links))
+		for _, m := range seq {
+			counts[m]++
+		}
+		for _, l := range alloc.Links {
+			n := float64(counts[l.Mode])
+			if n == 0 {
+				continue
+			}
+			winTX += n * payloadBits * float64(l.T)
+			winRX += n * payloadBits * float64(l.R)
+			winTime += n * payloadBits / float64(l.Good)
+		}
+		transitions := Transitions(seq, prevMode)
+		var swTX, swRX float64
+		if b.IncludeSwitchOverhead {
+			rates := make(map[phy.Mode]units.BitRate, len(alloc.Links))
+			for _, l := range alloc.Links {
+				rates[l.Mode] = l.Rate
+			}
+			swTX, swRX = SwitchEnergyOf(seq, prevMode, rates)
+		}
+		winTX += swTX
+		winRX += swRX
+
+		// How many whole windows fit in both remaining budgets?
+		maxWin := math.Min(float64(b1.Remaining())/winTX, float64(b2.Remaining())/winRX)
+		partial := false
+		if windows > maxWin {
+			windows = maxWin
+			partial = true
+		}
+		if windows <= 0 {
+			break
+		}
+
+		b1.Drain(units.Joule(windows * winTX))
+		b2.Drain(units.Joule(windows * winRX))
+		res.Drain1 += units.Joule(windows * winTX)
+		res.Drain2 += units.Joule(windows * winRX)
+		res.Bits += windows * windowBits
+		res.Duration += units.Second(windows * winTime)
+		res.Switches += int(windows * float64(transitions))
+		res.SwitchEnergy1 += units.Joule(windows * swTX)
+		res.SwitchEnergy2 += units.Joule(windows * swRX)
+		for _, l := range alloc.Links {
+			res.ModeBits[l.Mode] += windows * payloadBits * float64(counts[l.Mode])
+		}
+		prevMode = seq[len(seq)-1]
+		if partial {
+			break // one side is exhausted to within a rounding sliver
+		}
+	}
+	return res, nil
+}
+
+// RunFresh creates full batteries of the given capacities and runs the
+// braid over them, returning the result.
+func (b *Braid) RunFresh(c1, c2 units.WattHour) (*Result, error) {
+	return b.Run(energy.NewBattery(c1), energy.NewBattery(c2))
+}
+
+// FrameOverheadBits is the per-frame overhead the braid accounts for.
+const FrameOverheadBits = 8 * frame.Overhead

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+// gridBest searches the 2-simplex on a fine grid for the maximum of
+// min(E1/T̄, E2/R̄) — an independent (if approximate) check of
+// Optimize's vertex enumeration.
+func gridBest(links []phy.ModeLink, e1, e2 units.Joule, n int) float64 {
+	best := 0.0
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n-i; j++ {
+			p := []float64{float64(i) / float64(n), float64(j) / float64(n), float64(n-i-j) / float64(n)}
+			var tbar, rbar float64
+			for k, l := range links {
+				tbar += p[k] * float64(l.T)
+				rbar += p[k] * float64(l.R)
+			}
+			bits := math.Min(float64(e1)/tbar, float64(e2)/rbar)
+			if bits > best {
+				best = bits
+			}
+		}
+	}
+	return best
+}
+
+// TestOptimizeBeatsGridSearch: the closed-form optimum must always be at
+// least as good as any grid point, and the grid must come close to it
+// (confirming the optimum is genuine, not an artifact of the vertex
+// enumeration missing interior maxima).
+func TestOptimizeBeatsGridSearch(t *testing.T) {
+	links := phy.NewModel().Characterize(0.3)
+	if len(links) != 3 {
+		t.Fatal("need all three links")
+	}
+	f := func(raw uint16) bool {
+		ratio := math.Pow(10, float64(raw)/65535*10-5) // 1e-5 .. 1e5
+		e1 := units.Joule(3600 * ratio)
+		e2 := units.Joule(3600)
+		alloc, err := Optimize(links, e1, e2)
+		if err != nil {
+			return false
+		}
+		grid := gridBest(links, e1, e2, 150)
+		// Optimizer never below the grid; grid within 2% of optimizer
+		// (grid resolution bounds the gap).
+		return alloc.Bits >= grid*(1-1e-9) && grid >= alloc.Bits*0.98
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimizeRegimeBGrid repeats the check with only two links (regime
+// B at 3 m).
+func TestOptimizeRegimeBGrid(t *testing.T) {
+	links := phy.NewModel().Characterize(3)
+	if len(links) != 2 {
+		t.Fatal("expected two links at 3 m")
+	}
+	for _, ratio := range []float64{0.001, 0.3, 1, 7, 5000} {
+		e1 := units.Joule(3600 * ratio)
+		e2 := units.Joule(3600)
+		alloc, err := Optimize(links, e1, e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0.0
+		const n = 4000
+		for i := 0; i <= n; i++ {
+			p := float64(i) / n
+			tbar := p*float64(links[0].T) + (1-p)*float64(links[1].T)
+			rbar := p*float64(links[0].R) + (1-p)*float64(links[1].R)
+			bits := math.Min(float64(e1)/tbar, float64(e2)/rbar)
+			if bits > best {
+				best = bits
+			}
+		}
+		if alloc.Bits < best*(1-1e-9) {
+			t.Errorf("ratio %v: optimizer %v below grid %v", ratio, alloc.Bits, best)
+		}
+		if best < alloc.Bits*0.995 {
+			t.Errorf("ratio %v: grid %v far below optimizer %v", ratio, best, alloc.Bits)
+		}
+	}
+}
+
+// TestOptimizeTinyBudgets: the optimizer stays finite and sane at
+// microscopic budgets (sub-millijoule coin cells).
+func TestOptimizeTinyBudgets(t *testing.T) {
+	links := phy.NewModel().Characterize(0.3)
+	alloc, err := Optimize(links, 1e-6, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Bits <= 0 || math.IsInf(alloc.Bits, 0) || math.IsNaN(alloc.Bits) {
+		t.Errorf("bits = %v", alloc.Bits)
+	}
+}
+
+// TestBraidTinyBatteries: the braid engine terminates gracefully on
+// batteries that hold less than one scheduling window of traffic.
+func TestBraidTinyBatteries(t *testing.T) {
+	b := NewBraid(phy.NewModel(), 0.3)
+	res, err := b.RunFresh(1e-10, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits < 0 {
+		t.Errorf("negative bits %v", res.Bits)
+	}
+}

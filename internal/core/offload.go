@@ -1,0 +1,227 @@
+// Package core implements the paper's primary contribution: the
+// energy-aware carrier offload layer of §4. Given the characterized link
+// modes at the current distance (their per-bit costs T_i and R_i at both
+// endpoints) and the two endpoints' energy budgets E1 and E2, it decides
+// what fraction of traffic to carry in each mode so the endpoints spend
+// energy in proportion to what they have — and it runs the resulting
+// braided schedule against the batteries, including mode-switch
+// overheads.
+//
+// Two solvers are provided and cross-checked in tests:
+//
+//   - SolveEq1 is the paper's formulation (Eq. 1) as a linear program:
+//     minimize Σ p_i (T_i + R_i) subject to Σ p_i = 1 and
+//     Σ p_i T_i / Σ p_i R_i = E1/E2. Infeasible when the battery ratio
+//     lies outside the span of the available modes' cost ratios.
+//
+//   - Optimize maximizes delivered bits min(E1/T̄, E2/R̄) directly by
+//     enumerating the candidate vertices and ratio-matched edge points.
+//     It always has a solution and coincides with SolveEq1 whenever the
+//     power-proportional constraint is feasible (power-proportionality
+//     and bit-maximization agree in the interior — the paper's point P
+//     on line BC of Fig. 9).
+//
+// Fractions are fractions of delivered bits, which at equal mode bitrates
+// equal the paper's fractions of time.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"braidio/internal/lp"
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+// Allocation is the output of the offload optimizer.
+type Allocation struct {
+	// Links are the modes considered, as characterized by the PHY.
+	Links []phy.ModeLink
+	// P are the bit fractions per link, aligned with Links, summing to 1.
+	P []float64
+	// TX and RX are the mixture's average per-bit costs at each end.
+	TX, RX units.JoulesPerBit
+	// Bits is the total deliverable payload bits before one endpoint
+	// dies, for the budgets passed to Optimize.
+	Bits float64
+}
+
+// Fraction returns the allocation fraction for a mode (zero if the mode
+// is not in the allocation).
+func (a *Allocation) Fraction(m phy.Mode) float64 {
+	for i, l := range a.Links {
+		if l.Mode == m {
+			return a.P[i]
+		}
+	}
+	return 0
+}
+
+// Dominant returns the mode carrying the largest fraction.
+func (a *Allocation) Dominant() phy.Mode {
+	best, bestP := phy.ModeActive, -1.0
+	for i, l := range a.Links {
+		if a.P[i] > bestP {
+			best, bestP = l.Mode, a.P[i]
+		}
+	}
+	return best
+}
+
+// ErrNoLinks reports that no mode is available (out of range).
+var ErrNoLinks = errors.New("core: no links available")
+
+// validateInputs rejects nonsense budgets and dead links.
+func validateInputs(links []phy.ModeLink, e1, e2 units.Joule) error {
+	if len(links) == 0 {
+		return ErrNoLinks
+	}
+	if e1 <= 0 || e2 <= 0 {
+		return fmt.Errorf("core: non-positive budgets %v/%v", float64(e1), float64(e2))
+	}
+	for _, l := range links {
+		if l.T <= 0 || l.R <= 0 || math.IsInf(float64(l.T), 1) || math.IsInf(float64(l.R), 1) {
+			return fmt.Errorf("core: link %v has unusable costs %v/%v", l.Mode, l.T, l.R)
+		}
+	}
+	return nil
+}
+
+// mixture computes the average costs of a fraction vector.
+func mixture(links []phy.ModeLink, p []float64) (tx, rx units.JoulesPerBit) {
+	var t, r float64
+	for i, l := range links {
+		t += p[i] * float64(l.T)
+		r += p[i] * float64(l.R)
+	}
+	return units.JoulesPerBit(t), units.JoulesPerBit(r)
+}
+
+// bitsFor returns deliverable bits for a mixture under budgets.
+func bitsFor(tx, rx units.JoulesPerBit, e1, e2 units.Joule) float64 {
+	return math.Min(float64(e1)/float64(tx), float64(e2)/float64(rx))
+}
+
+// Optimize returns the bit-maximizing allocation for the given links and
+// budgets (E1 at the transmitter, E2 at the receiver).
+//
+// The objective min(E1/T̄, E2/R̄) is quasi-concave over the simplex, so
+// the optimum is either a pure mode or a two-mode mix whose consumption
+// ratio exactly matches E1:E2; Optimize enumerates all of them.
+func Optimize(links []phy.ModeLink, e1, e2 units.Joule) (*Allocation, error) {
+	if err := validateInputs(links, e1, e2); err != nil {
+		return nil, err
+	}
+	ratio := float64(e1) / float64(e2)
+	best := &Allocation{Links: links, P: make([]float64, len(links)), Bits: -1}
+
+	consider := func(p []float64) {
+		tx, rx := mixture(links, p)
+		bits := bitsFor(tx, rx, e1, e2)
+		if bits > best.Bits {
+			copy(best.P, p)
+			best.TX, best.RX, best.Bits = tx, rx, bits
+		}
+	}
+
+	p := make([]float64, len(links))
+	// Pure modes.
+	for i := range links {
+		for j := range p {
+			p[j] = 0
+		}
+		p[i] = 1
+		consider(p)
+	}
+	// Ratio-matched two-mode mixes: solve
+	// (q·T_i + (1−q)·T_j) / (q·R_i + (1−q)·R_j) = ratio for q ∈ (0,1).
+	for i := range links {
+		for j := i + 1; j < len(links); j++ {
+			ai := float64(links[i].T) - ratio*float64(links[i].R)
+			aj := float64(links[j].T) - ratio*float64(links[j].R)
+			den := ai - aj
+			if den == 0 {
+				continue
+			}
+			q := -aj / den
+			if q <= 0 || q >= 1 {
+				continue
+			}
+			for k := range p {
+				p[k] = 0
+			}
+			p[i], p[j] = q, 1-q
+			consider(p)
+		}
+	}
+	return best, nil
+}
+
+// SolveEq1 solves the paper's Eq. 1 exactly via the simplex solver:
+// minimize total per-bit cost subject to power-proportional consumption.
+// It returns lp.ErrInfeasible when the battery ratio is outside the
+// achievable span (the regime where Optimize clamps to a pure mode).
+func SolveEq1(links []phy.ModeLink, e1, e2 units.Joule) (*Allocation, error) {
+	if err := validateInputs(links, e1, e2); err != nil {
+		return nil, err
+	}
+	ratio := float64(e1) / float64(e2)
+	n := len(links)
+	c := make([]float64, n)
+	aRow := make([]float64, n)
+	ones := make([]float64, n)
+	for i, l := range links {
+		c[i] = float64(l.T) + float64(l.R)
+		aRow[i] = float64(l.T) - ratio*float64(l.R)
+		ones[i] = 1
+	}
+	sol, err := lp.Solve(&lp.Problem{C: c, A: [][]float64{ones, aRow}, B: []float64{1, 0}})
+	if err != nil {
+		return nil, err
+	}
+	alloc := &Allocation{Links: links, P: sol.X}
+	alloc.TX, alloc.RX = mixture(links, sol.X)
+	alloc.Bits = bitsFor(alloc.TX, alloc.RX, e1, e2)
+	return alloc, nil
+}
+
+// BestSingleMode returns the pure-mode allocation maximizing bits — the
+// Fig. 16 baseline ("the best of the three modes in isolation").
+func BestSingleMode(links []phy.ModeLink, e1, e2 units.Joule) (*Allocation, error) {
+	if err := validateInputs(links, e1, e2); err != nil {
+		return nil, err
+	}
+	best := &Allocation{Links: links, P: make([]float64, len(links)), Bits: -1}
+	for i := range links {
+		bits := bitsFor(links[i].T, links[i].R, e1, e2)
+		if bits > best.Bits {
+			for j := range best.P {
+				best.P[j] = 0
+			}
+			best.P[i] = 1
+			best.TX, best.RX, best.Bits = links[i].T, links[i].R, bits
+		}
+	}
+	return best, nil
+}
+
+// SingleMode returns the pure allocation for one specific mode, if
+// available in links.
+func SingleMode(links []phy.ModeLink, m phy.Mode, e1, e2 units.Joule) (*Allocation, error) {
+	if err := validateInputs(links, e1, e2); err != nil {
+		return nil, err
+	}
+	for i, l := range links {
+		if l.Mode != m {
+			continue
+		}
+		a := &Allocation{Links: links, P: make([]float64, len(links))}
+		a.P[i] = 1
+		a.TX, a.RX = l.T, l.R
+		a.Bits = bitsFor(l.T, l.R, e1, e2)
+		return a, nil
+	}
+	return nil, fmt.Errorf("core: mode %v not available", m)
+}

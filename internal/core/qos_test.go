@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+func TestQoSNoConstraintEqualsOptimize(t *testing.T) {
+	links := linksAt(t, 0.3)
+	plain, err := Optimize(links, 7200, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qos, err := OptimizeQoS(links, 7200, 3600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Bits-qos.Bits) > 1e-6 {
+		t.Errorf("zero-rate QoS %v != plain %v", qos.Bits, plain.Bits)
+	}
+}
+
+// TestQoSLooseConstraint: at 0.3 m every link runs ~900 kbps goodput, so
+// a 200 kbps floor changes nothing.
+func TestQoSLooseConstraint(t *testing.T) {
+	links := linksAt(t, 0.3)
+	plain, _ := Optimize(links, 7200, 3600)
+	qos, err := OptimizeQoS(links, 7200, 3600, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Bits-qos.Bits)/plain.Bits > 1e-6 {
+		t.Errorf("loose QoS changed the solution: %v vs %v", qos.Bits, plain.Bits)
+	}
+	if qos.Throughput() < 200_000 {
+		t.Errorf("throughput %v below the floor", qos.Throughput())
+	}
+}
+
+// TestQoSBindsAtMidRange: at 2.0 m backscatter only runs 10 kbps. A
+// small battery streaming 300 kbps video to a phone cannot use it, even
+// though power-proportionality wants it; the QoS optimizer drops the
+// slow mode and pays with lifetime.
+func TestQoSBindsAtMidRange(t *testing.T) {
+	links := linksAt(t, 2.0)
+	e1, e2 := units.Joule(720), units.Joule(23580) // band → phone
+	plain, err := Optimize(links, e1, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Fraction(phy.ModeBackscatter) == 0 {
+		t.Skip("premise: plain optimizer should braid some 10 kbps backscatter here")
+	}
+	qos, err := OptimizeQoS(links, e1, e2, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qos.Throughput() < 300_000*0.999 {
+		t.Errorf("QoS throughput %v below the 300 kbps floor", qos.Throughput())
+	}
+	// The floor costs delivered bits relative to unconstrained braiding.
+	if qos.Bits > plain.Bits {
+		t.Errorf("QoS delivered more bits (%v) than unconstrained (%v)?", qos.Bits, plain.Bits)
+	}
+	// And it sheds the slow mode (nearly) entirely: the residual 10 kbps
+	// share is bounded by the throughput algebra.
+	if f := qos.Fraction(phy.ModeBackscatter); f > 0.05 {
+		t.Errorf("QoS kept %v backscatter@10k under a 300 kbps floor", f)
+	}
+}
+
+// TestQoSRateUnreachable: beyond every link's speed.
+func TestQoSRateUnreachable(t *testing.T) {
+	links := linksAt(t, 0.3)
+	_, err := OptimizeQoS(links, 3600, 3600, 10_000_000)
+	if !errors.Is(err, ErrRateUnreachable) {
+		t.Errorf("err = %v, want ErrRateUnreachable", err)
+	}
+}
+
+// TestQoSFallbackKeepsDeadline: when power-proportionality and the rate
+// floor conflict, the deadline wins and the mixture stays rate-feasible.
+func TestQoSFallbackKeepsDeadline(t *testing.T) {
+	links := linksAt(t, 2.0)
+	// An extreme battery ratio whose proportional point needs lots of
+	// slow backscatter.
+	qos, err := OptimizeQoS(links, 1, 1e9, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qos.Throughput() < 300_000*0.999 {
+		t.Errorf("fallback mixture throughput %v below floor", qos.Throughput())
+	}
+	sum := 0.0
+	for _, p := range qos.P {
+		if p < -1e-9 {
+			t.Errorf("negative fraction %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+}
+
+// TestQoSMonotoneInRate: tightening the floor never increases delivered
+// bits.
+func TestQoSMonotoneInRate(t *testing.T) {
+	links := linksAt(t, 2.0)
+	e1, e2 := units.Joule(720), units.Joule(23580)
+	prev := math.Inf(1)
+	for _, rate := range []units.BitRate{0, 100_000, 300_000, 600_000, 900_000} {
+		qos, err := OptimizeQoS(links, e1, e2, rate)
+		if err != nil {
+			t.Fatalf("rate %v: %v", rate, err)
+		}
+		if qos.Bits > prev*(1+1e-9) {
+			t.Errorf("bits increased as the floor tightened to %v", rate)
+		}
+		prev = qos.Bits
+	}
+}
+
+func TestAllocationThroughput(t *testing.T) {
+	links := linksAt(t, 0.3)
+	alloc, _ := Optimize(links, 3600, 3600)
+	th := alloc.Throughput()
+	// All links at ~900 kbps goodput (passive a bit lower): mixture in
+	// the 800–940 kbps band.
+	if float64(th) < 0.6e6 || float64(th) > 1e6 {
+		t.Errorf("throughput = %v", th)
+	}
+	empty := &Allocation{Links: links, P: []float64{0, 0, 0}}
+	if empty.Throughput() != 0 {
+		t.Error("empty allocation throughput should be 0")
+	}
+}

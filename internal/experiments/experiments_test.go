@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment end to end
+// and renders each report — the smoke test that the full evaluation is
+// regenerable.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report ID %q, want %q", rep.ID, e.ID)
+			}
+			if len(rep.Tables)+len(rep.Series)+len(rep.Matrices) == 0 {
+				t.Error("report has no content")
+			}
+			var b strings.Builder
+			if err := rep.Render(&b); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if !strings.Contains(b.String(), e.ID) {
+				t.Error("rendered output missing experiment ID")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig15"); !ok {
+		t.Error("fig15 not registered")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("unknown experiment found")
+	}
+	// IDs are unique.
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rep, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := rep.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Fig. 4(b): SNR map (dB)": "fig-4-b-snr-map-db",
+		"Table 1":                 "table-1",
+		"simple":                  "simple",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// The remaining tests verify each report's headline numbers against the
+// paper's claims — the acceptance criteria of DESIGN.md §4.
+
+func noteContains(t *testing.T, rep *Report, want string) {
+	t.Helper()
+	for _, n := range rep.Notes {
+		if strings.Contains(n, want) {
+			return
+		}
+	}
+	t.Errorf("%s: no note contains %q; notes: %v", rep.ID, want, rep.Notes)
+}
+
+func TestTable1Claims(t *testing.T) {
+	rep, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noteContains(t, rep, "CC2541")
+	noteContains(t, rep, "CC2640")
+}
+
+func TestTable5NegligibleClaim(t *testing.T) {
+	rep, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The note reports the worst switch as a percentage of a second of
+	// operation; it must be well under 1%.
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "%") && strings.Contains(n, "worst switch") {
+			found = true
+			if strings.Contains(n, "= 1.") || strings.Contains(n, "= 2.") {
+				t.Errorf("worst switch not negligible: %s", n)
+			}
+		}
+	}
+	if !found {
+		t.Error("negligibility note missing")
+	}
+}
+
+func TestFig3Claim(t *testing.T) {
+	rep, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noteContains(t, rep, "output settles at 1.8")
+	if len(rep.Series) != 3 {
+		t.Errorf("Fig. 3 has %d traces, want the paper's 3", len(rep.Series))
+	}
+}
+
+func TestFig6Claim(t *testing.T) {
+	rep, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noteContains(t, rep, "diversity lifts the worst null")
+}
+
+func TestFig9Claim(t *testing.T) {
+	rep, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noteContains(t, rep, "1:2546")
+	noteContains(t, rep, "3546:1")
+	noteContains(t, rep, "point P")
+	// "A seven orders of magnitude span!"
+	noteContains(t, rep, "7.0 orders")
+}
+
+func TestFig12Claim(t *testing.T) {
+	rep, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noteContains(t, rep, "Braidio 1.8")
+	noteContains(t, rep, "5.0× more efficient")
+}
+
+func TestFig13Ranges(t *testing.T) {
+	rep, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat strings.Builder
+	for _, row := range rep.Tables[0].Rows {
+		flat.WriteString(strings.Join(row, " "))
+		flat.WriteString("\n")
+	}
+	for _, want := range []string{"0.9", "1.8", "2.4", "3.9", "4.1", "5.1"} {
+		if !strings.Contains(flat.String(), want) {
+			t.Errorf("range table missing %s m:\n%s", want, flat.String())
+		}
+	}
+}
+
+func TestFig14RatioLadder(t *testing.T) {
+	rep, err := Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"5571:1", "7800:1", "1:4000", "1:5600"} {
+		noteContains(t, rep, want)
+	}
+}
+
+func TestFig15Claims(t *testing.T) {
+	rep, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noteContains(t, rep, "paper 397")
+	if len(rep.Matrices) != 1 || len(rep.Matrices[0].Cells) != 10 {
+		t.Fatal("Fig. 15 matrix is not 10×10")
+	}
+}
+
+func TestFig18SeriesCount(t *testing.T) {
+	rep, err := Fig18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 6 {
+		t.Errorf("Fig. 18 has %d curves, want the paper's 6", len(rep.Series))
+	}
+}
+
+func TestRatioLabel(t *testing.T) {
+	if got := ratioLabel(3546); got != "3546:1" {
+		t.Errorf("ratioLabel(3546) = %q", got)
+	}
+	if got := ratioLabel(1.0 / 2546); got != "1:2546" {
+		t.Errorf("ratioLabel(1/2546) = %q", got)
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"braidio/internal/chargepump"
+	"braidio/internal/inventory"
+	"braidio/internal/phy"
+	"braidio/internal/rng"
+	"braidio/internal/stats"
+	"braidio/internal/units"
+)
+
+// ExtInventory runs the multi-tag extension: one Braidio board as a
+// Gen2-style reader enumerating a swarm of backscatter tags with the Q
+// algorithm.
+func ExtInventory() (*Report, error) {
+	r := &Report{
+		ID:    "ext-inventory",
+		Title: "Multi-tag inventory with the Gen2 Q algorithm",
+		PaperClaim: "extension: the AS3993 baseline 'supports direct mode and makes it " +
+			"possible to implement customized Backscatter protocols' — here is one",
+	}
+	rows := [][]string{}
+	for _, n := range []int{1, 10, 100, 1000} {
+		res, err := inventory.Run(inventory.DefaultConfig(units.Rate100k, 1), n)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", res.Slots),
+			fmt.Sprintf("%.2f", res.SlotsPerTag()),
+			fmt.Sprintf("%.2f", res.Efficiency()),
+			fmt.Sprintf("%.3g s", float64(res.Duration)),
+			fmt.Sprintf("%.3g J", float64(res.ReaderEnergy)),
+			fmt.Sprintf("%.3g µJ", float64(res.TagEnergy)*1e6),
+		})
+	}
+	r.Tables = append(r.Tables, NamedTable{
+		Name:   "inventory rounds at 100 kbps",
+		Header: []string{"Tags", "Slots", "Slots/tag", "Efficiency", "Airtime", "Reader J", "Per-tag energy"},
+		Rows:   rows,
+	})
+	r.AddNote("slotted ALOHA's oracle bound is 1/e ≈ 0.37 successes/slot; the Q algorithm lands nearby without knowing the population")
+	return r, nil
+}
+
+// ExtOutage quantifies what multipath fading does to the clean-room
+// regime boundaries: for each distance, the fraction of Rician
+// block-fading realizations in which each mode still decodes.
+func ExtOutage() (*Report, error) {
+	r := &Report{
+		ID:    "ext-outage",
+		Title: "Mode outage probability under Rician fading",
+		PaperClaim: "extension: the paper clears the room ('we clear the area to " +
+			"minimize the effect of environmental reflections'); this is what reflections cost",
+	}
+	base := phy.NewModel()
+	const draws = 2000
+	kFactors := []struct {
+		name string
+		k    float64
+	}{{"K=10 (strong LOS)", 10}, {"K=2 (cluttered)", 2}}
+
+	for _, kf := range kFactors {
+		var series stats.Series
+		stream := rng.New(77)
+		nu := math.Sqrt(kf.k / (kf.k + 1))
+		sigma := math.Sqrt(1 / (2 * (kf.k + 1)))
+		for d := 0.3; d <= 3.0; d += 0.15 {
+			outages := 0
+			for i := 0; i < draws; i++ {
+				env := stream.Rician(nu, sigma)
+				faded := *base
+				// A fade multiplies the one-way amplitude by env; the
+				// round-trip backscatter link sees it twice.
+				faded.FadeMargin = units.DB(-40 * math.Log10(env))
+				if !faded.Available(phy.ModeBackscatter, units.Meter(d)) {
+					outages++
+				}
+			}
+			series = append(series, stats.Point{X: d, Y: float64(outages) / draws})
+		}
+		r.Series = append(r.Series, NamedSeries{
+			Name: fmt.Sprintf("backscatter outage vs m, %s", kf.name),
+			Data: series,
+		})
+		edge, ok := series.CrossAbove(0.05)
+		if ok {
+			r.AddNote("%s: 5%% backscatter outage at %.2f m (clean-room range 2.4 m)", kf.name, edge)
+		} else {
+			r.AddNote("%s: outage stays under 5%% across the sweep", kf.name)
+		}
+	}
+	r.AddNote("the §4.2 fallback machinery exists exactly for these realizations")
+	return r, nil
+}
+
+// ExtPump sweeps the charge pump's stage count: boost versus loaded sag
+// — the sensitivity/impedance trade §3.2 describes.
+func ExtPump() (*Report, error) {
+	r := &Report{
+		ID:    "ext-pump",
+		Title: "Charge pump stage-count trade-off",
+		PaperClaim: "§3.2: 'a charge pump can boost the signal by 2N times ... but it " +
+			"also increases the output impedance significantly'",
+	}
+	rows := [][]string{}
+	for n := 1; n <= 6; n++ {
+		p := chargepump.Default()
+		p.Stages = n
+		// Small-signal detector regime: the Schottky operates square-law
+		// below its drop, so the ideal-diode (zero-drop) analytic model
+		// is the right envelope here.
+		p.DiodeDrop = 0
+		open := p.OutputDC(0.05) // a weak 50 mV RF input
+		z := p.OutputImpedance(1e6)
+		// Sag against a 100 kΩ load (a mediocre amplifier input).
+		p.LoadResistance = 100e3
+		loaded := p.LoadedOutput(0.05, 1e6)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f mV", open*1e3),
+			fmt.Sprintf("%.0f kΩ", z/1e3),
+			fmt.Sprintf("%.1f mV", loaded*1e3),
+		})
+	}
+	r.Tables = append(r.Tables, NamedTable{
+		Name:   "Dickson pump vs stages (50 mV input, ideal-diode analytic model)",
+		Header: []string{"Stages", "Open-circuit out", "Output impedance", "Into 100 kΩ"},
+		Rows:   rows,
+	})
+	r.AddNote("more stages only help into a high-impedance load — the INA2331's near-open input is what makes N>1 useful")
+	return r, nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"braidio/internal/analog"
+	"braidio/internal/fading"
+	"braidio/internal/rxchain"
+	"braidio/internal/units"
+)
+
+// Table3 reproduces Table 3: the qualitative comparison between a
+// commercial reader's architecture and Braidio's, with the quantitative
+// anchors this module models for each row.
+func Table3() (*Report, error) {
+	r := &Report{
+		ID:         "table3",
+		Title:      "Commercial reader vs Braidio, by problem",
+		PaperClaim: "Braidio trades sensitivity for power and complexity on all three fronts",
+	}
+	r.Tables = append(r.Tables, NamedTable{
+		Name:   "Table 3",
+		Header: []string{"Problem", "Commercial reader", "Braidio", "Modeled by"},
+		Rows: [][]string{
+			{
+				"Phase cancellation",
+				"IQ orthogonal receiver (two mixer/filter/IF chains)",
+				"λ/8 antenna diversity via a <10 µW switch",
+				"internal/field, ablation-diversity",
+			},
+			{
+				"Signal amplification",
+				"RF LNA + IF amp + DSP (better sensitivity)",
+				"charge pump + instrumentation amp (lower power)",
+				"internal/chargepump, internal/analog",
+			},
+			{
+				"Frequency selection",
+				"mixer + low-pass filter",
+				"passive SAW filter (zero power, in-band exposure)",
+				"analog.SAWFilter",
+			},
+		},
+	})
+	bare := analog.DefaultChain()
+	bare.Amp = nil
+	amped := analog.DefaultChain()
+	r.AddNote("sensitivity cost of the trade: bare detector %.1f dBm, with amp %.1f dBm, commercial reader %.1f dBm (calibrated)",
+		float64(bare.Sensitivity(units.Rate100k)), float64(amped.Sensitivity(units.Rate100k)), -71.4)
+	r.AddNote("power cost of the commercial approach: %.0f mW vs Braidio's %.0f mW", 640.0, 129.0)
+	return r, nil
+}
+
+// Table4 reproduces Table 4: the hardware modules of the Braidio board
+// and where each is modeled.
+func Table4() (*Report, error) {
+	r := &Report{
+		ID:         "table4",
+		Title:      "Hardware modules of the Braidio prototype",
+		PaperClaim: "an active radio plus 'a tag's worth' of extra components",
+	}
+	r.Tables = append(r.Tables, NamedTable{
+		Name:   "Table 4",
+		Header: []string{"Module", "Part", "Key property", "Modeled by"},
+		Rows: [][]string{
+			{"Controller", "ATMEGA 328P", "2 mA @ 8 MHz", "folded into mode power draws (phy)"},
+			{"Carrier emitter", "SI4432", "125 mW @ 13 dBm", "phy.CarrierPower + mode powers"},
+			{"Passive receiver", "Moo/WISP front end", "reduced Cs/Cp for bitrate", "chargepump (settling test)"},
+			{"Baseband amplifier", "INA2331", "1.8 pF input capacitance", "analog.InstAmp"},
+			{"Antenna switch", "SKY13267", "<10 µW SPDT", "analog.AntennaSwitch"},
+			{"Chip antennas", "ANT1204LL05R ×2", "λ/8 spacing, 12 mm", "rf.ChipAntenna, field.PaperScene"},
+			{"SAW filter", "SF2049E", "50 dB @ 800 MHz, >30 dB @ 2.4 GHz", "analog.SAWFilter"},
+			{"Active radio", "SPBT2632C2A", "Bluetooth over serial", "phy active mode powers"},
+		},
+	})
+	r.AddNote("switch power: %v (paper: <10 µW)", analog.DefaultSwitch.Power)
+	r.AddNote("amp input capacitance: %.1f pF (paper: 1.8 pF)", analog.DefaultInstAmp.InputCapacitance*1e12)
+	return r, nil
+}
+
+// RxChain demonstrates §3.1 end to end at the waveform level: the
+// high-pass-filtered envelope receiver rejecting carrier
+// self-interference 50× stronger than the signal, and the ablation where
+// removing the filter destroys reception.
+func RxChain() (*Report, error) {
+	r := &Report{
+		ID:         "rxchain",
+		Title:      "Waveform-level passive receive chain (§3.1)",
+		PaperClaim: "self-interference presents as DC / <1 kHz and is removed by high-pass filtering",
+	}
+	rows := [][]string{}
+	for _, c := range []struct {
+		name string
+		cfg  func() rxchain.Config
+	}{
+		{"no interference", func() rxchain.Config {
+			cfg := rxchain.DefaultConfig(units.Rate100k, 1)
+			cfg.SelfInterference = fading.SelfInterference{}
+			return cfg
+		}},
+		{"static SI ×50", func() rxchain.Config {
+			return rxchain.DefaultConfig(units.Rate100k, 2)
+		}},
+		{"drifting SI ×50 (2 ms coherence)", func() rxchain.Config {
+			cfg := rxchain.DefaultConfig(units.Rate100k, 3)
+			cfg.SelfInterference = fading.SelfInterference{Level: 1, DriftFraction: 0.1, CoherenceTime: 2e-3}
+			return cfg
+		}},
+		{"static SI ×50, no high-pass (ablation)", func() rxchain.Config {
+			cfg := rxchain.DefaultConfig(units.Rate100k, 4)
+			cfg.HighPass = analog.HighPass{}
+			return cfg
+		}},
+	} {
+		res, err := rxchain.Run(c.cfg(), 50000)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			c.name,
+			fmt.Sprintf("%.2g", res.BER()),
+			fmt.Sprintf("%.3g V", res.ResidualDC),
+			fmt.Sprintf("%.3g V", res.SwingAtComparator),
+		})
+	}
+	r.Tables = append(r.Tables, NamedTable{
+		Name:   "50k bits through the chain (20 mV signal, 1 V carrier leakage)",
+		Header: []string{"Scenario", "BER", "Residual DC", "Eye opening"},
+		Rows:   rows,
+	})
+	r.AddNote("the filter buys ~50 dB of interference rejection for zero active power")
+	return r, nil
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"braidio/internal/baseline"
+	"braidio/internal/energy"
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+// Table1 reproduces Table 1: transmitter/receiver power and power ratio
+// of the Bluetooth chips.
+func Table1() (*Report, error) {
+	r := &Report{
+		ID:         "table1",
+		Title:      "Transmitter/receiver power ratio of Bluetooth and BLE",
+		PaperClaim: "CC2541 ratio 0.82–1.0, CC2640 ratio 1.1–1.6",
+	}
+	rows := [][]string{}
+	for _, b := range []baseline.Bluetooth{baseline.CC2541, baseline.CC2640} {
+		rows = append(rows, []string{
+			b.Name,
+			b.TXPower.String(),
+			b.RXPower.String(),
+			fmt.Sprintf("%.2f", b.PowerRatio()),
+		})
+		r.AddNote("%s TX/RX ratio = %.2f", b.Name, b.PowerRatio())
+	}
+	r.Tables = append(r.Tables, NamedTable{
+		Name:   "Table 1",
+		Header: []string{"Chip", "Transmit", "Receive", "TX/RX Ratio"},
+		Rows:   rows,
+	})
+	return r, nil
+}
+
+// Table2 reproduces Table 2: power consumption and cost of commercial
+// readers.
+func Table2() (*Report, error) {
+	r := &Report{
+		ID:         "table2",
+		Title:      "Power consumption and cost of commercial readers",
+		PaperClaim: "reader power spans 0.64 W (AS3993) to 4.2 W (M6e)",
+	}
+	rows := [][]string{}
+	for _, rd := range baseline.Readers {
+		rows = append(rows, []string{
+			rd.Model,
+			fmt.Sprintf("%v@%gdBm", rd.Power, float64(rd.TXOut)),
+			rd.RXPower.String(),
+			fmt.Sprintf("$%g", rd.CostUSD),
+		})
+	}
+	r.Tables = append(r.Tables, NamedTable{
+		Name:   "Table 2",
+		Header: []string{"Model", "Total power", "Est. RX power", "Cost"},
+		Rows:   rows,
+	})
+	lowest := baseline.LowestPowerReader()
+	r.AddNote("lowest-power reader: %s at %v (the paper's baseline)", lowest.Model, lowest.Power)
+	return r, nil
+}
+
+// Table5 reproduces Table 5: switching overhead in each mode, and
+// validates the "negligible" conclusion by comparing against one second
+// of operation.
+func Table5() (*Report, error) {
+	r := &Report{
+		ID:         "table5",
+		Title:      "Switching overhead in different modes",
+		PaperClaim: "switching overhead is negligible in all modes (backscatter worst case at 10 kbps)",
+	}
+	rows := [][]string{}
+	for _, m := range phy.Modes {
+		oh := phy.SwitchOverhead[m]
+		rows = append(rows, []string{
+			m.String(),
+			fmt.Sprintf("%.3g Wh (%.3g J)", float64(oh.TX.WattHours()), float64(oh.TX)),
+			fmt.Sprintf("%.3g Wh (%.3g J)", float64(oh.RX.WattHours()), float64(oh.RX)),
+		})
+	}
+	r.Tables = append(r.Tables, NamedTable{
+		Name:   "Table 5",
+		Header: []string{"Mode", "TX switch", "RX switch"},
+		Rows:   rows,
+	})
+	// Negligibility: worst-case switch vs one second of the mode's own
+	// operation at its cheapest rate.
+	worst := phy.SwitchOverhead[phy.ModeBackscatter].TX
+	second := units.Energy(phy.BackscatterRXPower, 1)
+	r.AddNote("worst switch (backscatter TX at 10 kbps) = %.3g J = %.2f%% of one second of reader operation",
+		float64(worst), 100*float64(worst)/float64(second))
+	return r, nil
+}
+
+// Fig1 reproduces Fig. 1: battery capacities of the device catalog.
+func Fig1() (*Report, error) {
+	r := &Report{
+		ID:         "fig1",
+		Title:      "Battery capacity for mobile devices",
+		PaperClaim: "capacities span three orders of magnitude from fitness bands to laptops",
+	}
+	rows := [][]string{}
+	for _, d := range energy.Catalog {
+		rows = append(rows, []string{d.Name, d.Class, fmt.Sprintf("%.2f Wh", float64(d.Capacity))})
+	}
+	r.Tables = append(r.Tables, NamedTable{
+		Name:   "Fig. 1 data",
+		Header: []string{"Device", "Class", "Capacity"},
+		Rows:   rows,
+	})
+	r.AddNote("capacity span = %.0f× (max/min)", energy.CapacitySpan())
+	return r, nil
+}

@@ -1,0 +1,59 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary buffers to the decoder: it must never
+// panic, and whatever it accepts must re-encode to a frame that decodes
+// to the same header and payload (a parse/serialize fixpoint).
+func FuzzDecode(f *testing.F) {
+	good, _ := Encode(Header{Type: TypeData, Mode: 1, Seq: 7, Battery: 9, Ack: 3}, []byte("seed"))
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xAA}, 64))
+	truncated := good[:len(good)-3]
+	f.Add(truncated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(fr.Header, fr.Payload)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		fr2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if fr2.Header != fr.Header || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("decode/encode fixpoint broken: %+v vs %+v", fr, fr2)
+		}
+	})
+}
+
+// FuzzEncodeDecode drives the encoder with arbitrary header fields and
+// payloads.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint16(0), uint8(0), uint16(0), []byte{})
+	f.Add(uint8(4), uint8(2), uint16(65535), uint8(255), uint16(1), []byte("payload"))
+	f.Fuzz(func(t *testing.T, typ, mode uint8, seq uint16, battery uint8, ack uint16, payload []byte) {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		h := Header{Type: Type(typ), Mode: mode, Seq: seq, Battery: battery, Ack: ack}
+		buf, err := Encode(h, payload)
+		if err != nil {
+			t.Fatalf("encode rejected valid input: %v", err)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("decode of fresh frame failed: %v", err)
+		}
+		if got.Header.Seq != seq || got.Header.Ack != ack || !bytes.Equal(got.Payload, payload) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

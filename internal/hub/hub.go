@@ -1,0 +1,196 @@
+// Package hub extends Braidio's pairwise carrier offload to a star
+// network: one energy-rich hub (a phone or laptop) serving several
+// wearables, each over its own braided pair, with the hub's single
+// battery shared across all of them.
+//
+// The paper evaluates pairs; the introduction's motivation — "a
+// significant fraction of the energy cost of communication [can] be
+// offloaded to the device that has more energy i.e. the mobile phone" —
+// is inherently multi-device. The hub schedules its members round-robin
+// (one radio, one link at a time), re-solving each member's offload
+// allocation against the hub's *remaining* budget so that early traffic
+// from one wearable is reflected in the braiding chosen for the others.
+package hub
+
+import (
+	"errors"
+	"fmt"
+
+	"braidio/internal/core"
+	"braidio/internal/energy"
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+// Member is one wearable served by the hub.
+type Member struct {
+	// Device identifies the wearable.
+	Device energy.Device
+	// Distance from the hub.
+	Distance units.Meter
+	// Load is the member's offered traffic in payload bits per second
+	// of wall-clock time.
+	Load units.BitRate
+	// MinRate, when positive, applies the QoS-constrained offload
+	// (core.OptimizeQoS): the member's braid must sustain at least this
+	// delivered throughput while its slot is active — a live stream's
+	// floor.
+	MinRate units.BitRate
+}
+
+// Hub is a star network under construction. Create with New, add
+// members, then Run.
+type Hub struct {
+	device  energy.Device
+	model   *phy.Model
+	members []Member
+}
+
+// New creates a hub on the given device using the calibrated model when
+// m is nil.
+func New(device energy.Device, m *phy.Model) *Hub {
+	if m == nil {
+		m = phy.NewModel()
+	}
+	return &Hub{device: device, model: m}
+}
+
+// Add registers a member. It returns an error if no link mode reaches
+// the member or the load is not positive.
+func (h *Hub) Add(m Member) error {
+	if m.Load <= 0 {
+		return fmt.Errorf("hub: member %s has non-positive load", m.Device.Name)
+	}
+	if len(h.model.Characterize(m.Distance)) == 0 {
+		return fmt.Errorf("hub: member %s at %v m is out of range", m.Device.Name, float64(m.Distance))
+	}
+	h.members = append(h.members, m)
+	return nil
+}
+
+// Members returns the registered members.
+func (h *Hub) Members() []Member { return h.members }
+
+// MemberResult is one member's share of a hub run.
+type MemberResult struct {
+	Member Member
+	// Bits delivered from the member to the hub.
+	Bits float64
+	// MemberDrain and HubDrain are the energies each side spent on this
+	// member's traffic.
+	MemberDrain, HubDrain units.Joule
+	// ModeBits attributes the member's bits to modes.
+	ModeBits map[phy.Mode]float64
+	// Starved reports that the member's battery died before the horizon.
+	Starved bool
+}
+
+// Result is the outcome of a hub run.
+type Result struct {
+	// Horizon is the wall-clock span simulated.
+	Horizon units.Second
+	// HubDrain is the hub's total radio energy.
+	HubDrain units.Joule
+	// HubExhausted reports the hub battery died before the horizon.
+	HubExhausted bool
+	// Members holds per-member outcomes in registration order.
+	Members []MemberResult
+}
+
+// TotalBits sums delivered bits across members.
+func (r *Result) TotalBits() float64 {
+	total := 0.0
+	for _, m := range r.Members {
+		total += m.Bits
+	}
+	return total
+}
+
+// ErrNoMembers reports an empty hub.
+var ErrNoMembers = errors.New("hub: no members")
+
+// Run simulates the star for a wall-clock horizon, delivering each
+// member's offered load in rounds. Each round covers a slice of the
+// horizon; within a round every member moves its offered bits through a
+// braid whose allocation is re-solved against the member's and the
+// hub's current remaining energy. Run stops early if the hub dies.
+func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
+	if len(h.members) == 0 {
+		return nil, ErrNoMembers
+	}
+	if horizon <= 0 || rounds < 1 {
+		return nil, fmt.Errorf("hub: invalid horizon %v / rounds %d", float64(horizon), rounds)
+	}
+	hubBatt := h.device.NewBattery()
+	memberBatts := make([]*energy.Battery, len(h.members))
+	for i, m := range h.members {
+		memberBatts[i] = m.Device.NewBattery()
+	}
+	res := &Result{
+		Horizon: horizon,
+		Members: make([]MemberResult, len(h.members)),
+	}
+	for i, m := range h.members {
+		res.Members[i] = MemberResult{Member: m, ModeBits: make(map[phy.Mode]float64)}
+	}
+
+	slice := horizon / units.Second(rounds)
+	for round := 0; round < rounds && !hubBatt.Empty(); round++ {
+		for i, m := range h.members {
+			mr := &res.Members[i]
+			if memberBatts[i].Empty() {
+				mr.Starved = true
+				continue
+			}
+			bits := float64(m.Load) * float64(slice)
+			braid := core.NewBraid(h.model, m.Distance)
+			braid.MaxBits = bits
+			if m.MinRate > 0 {
+				minRate := m.MinRate
+				braid.Optimizer = func(links []phy.ModeLink, e1, e2 units.Joule) (*core.Allocation, error) {
+					return core.OptimizeQoS(links, e1, e2, minRate)
+				}
+			}
+			run, err := braid.Run(memberBatts[i], hubBatt)
+			if err != nil {
+				return nil, fmt.Errorf("hub: member %s: %w", m.Device.Name, err)
+			}
+			mr.Bits += run.Bits
+			mr.MemberDrain += run.Drain1
+			mr.HubDrain += run.Drain2
+			res.HubDrain += run.Drain2
+			for mode, b := range run.ModeBits {
+				mr.ModeBits[mode] += b
+			}
+			if run.Bits < bits*0.999 {
+				if memberBatts[i].Empty() {
+					mr.Starved = true
+				}
+				if hubBatt.Empty() {
+					break
+				}
+			}
+		}
+	}
+	res.HubExhausted = hubBatt.Empty()
+	return res, nil
+}
+
+// HubShare returns the fraction of the joint radio bill the hub paid
+// for a member — the offload the star achieves.
+func (r *MemberResult) HubShare() float64 {
+	total := float64(r.MemberDrain + r.HubDrain)
+	if total == 0 {
+		return 0
+	}
+	return float64(r.HubDrain) / total
+}
+
+// Lifetime estimates how many horizons the member's battery funds at
+// the observed drain rate (+Inf for a zero drain).
+func (r *MemberResult) Lifetime() float64 {
+	if r.MemberDrain <= 0 {
+		return 0
+	}
+	return float64(r.Member.Device.Capacity.Joules()) / float64(r.MemberDrain)
+}

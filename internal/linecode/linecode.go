@@ -1,0 +1,189 @@
+// Package linecode implements the DC-balanced line codes backscatter
+// uplinks use: Manchester (the classic) and FM0 (bi-phase space, the EPC
+// Gen2 tag-to-reader encoding). An envelope-detected link that is
+// high-pass filtered to reject carrier self-interference (§3.1) cannot
+// pass long runs of identical symbols — the baseline wanders into the
+// comparator's threshold — so the tag's bit stream must carry its own
+// transitions. Both codes guarantee at least one level transition per
+// bit at the cost of doubling the symbol rate.
+package linecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code identifies a line code.
+type Code int
+
+// Supported codes.
+const (
+	// NRZ is no coding (one level per bit) — the baseline that fails
+	// under baseline wander.
+	NRZ Code = iota
+	// Manchester encodes 1 as high→low and 0 as low→high.
+	Manchester
+	// FM0 inverts the level at every bit boundary and adds a mid-bit
+	// inversion for 0 (EPC Gen2 convention).
+	FM0
+)
+
+// String implements fmt.Stringer.
+func (c Code) String() string {
+	switch c {
+	case NRZ:
+		return "NRZ"
+	case Manchester:
+		return "Manchester"
+	case FM0:
+		return "FM0"
+	default:
+		return fmt.Sprintf("code(%d)", int(c))
+	}
+}
+
+// SymbolsPerBit returns the on-air symbol expansion of the code.
+func (c Code) SymbolsPerBit() int {
+	if c == NRZ {
+		return 1
+	}
+	return 2
+}
+
+// Rate returns the code rate (information bits per symbol).
+func (c Code) Rate() float64 { return 1 / float64(c.SymbolsPerBit()) }
+
+// Encode expands bits (0/1 bytes) into channel symbols (0/1 levels).
+// FM0 encoding is stateful across the stream, starting from level 1.
+func Encode(c Code, bits []byte) []byte {
+	switch c {
+	case NRZ:
+		out := make([]byte, len(bits))
+		for i, b := range bits {
+			out[i] = b & 1
+		}
+		return out
+	case Manchester:
+		out := make([]byte, 0, 2*len(bits))
+		for _, b := range bits {
+			if b&1 == 1 {
+				out = append(out, 1, 0)
+			} else {
+				out = append(out, 0, 1)
+			}
+		}
+		return out
+	case FM0:
+		out := make([]byte, 0, 2*len(bits))
+		level := byte(1)
+		for _, b := range bits {
+			// Invert at the bit boundary.
+			level ^= 1
+			first := level
+			second := level
+			if b&1 == 0 {
+				// Data-0 adds a mid-bit inversion.
+				second = level ^ 1
+				level = second
+			}
+			out = append(out, first, second)
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("linecode: unknown code %d", int(c)))
+	}
+}
+
+// ErrCodingViolation reports symbols that are not a valid codeword
+// stream (a detected channel error).
+var ErrCodingViolation = errors.New("linecode: coding violation")
+
+// Decode recovers bits from channel symbols. For Manchester and FM0 a
+// malformed pair returns ErrCodingViolation with the bits decoded so far
+// — the violation detection is itself an error-detection mechanism the
+// envelope link gets for free.
+func Decode(c Code, symbols []byte) ([]byte, error) {
+	switch c {
+	case NRZ:
+		out := make([]byte, len(symbols))
+		for i, s := range symbols {
+			out[i] = s & 1
+		}
+		return out, nil
+	case Manchester:
+		if len(symbols)%2 != 0 {
+			return nil, fmt.Errorf("%w: odd symbol count", ErrCodingViolation)
+		}
+		out := make([]byte, 0, len(symbols)/2)
+		for i := 0; i < len(symbols); i += 2 {
+			a, b := symbols[i]&1, symbols[i+1]&1
+			switch {
+			case a == 1 && b == 0:
+				out = append(out, 1)
+			case a == 0 && b == 1:
+				out = append(out, 0)
+			default:
+				return out, fmt.Errorf("%w: symbols %d%d at bit %d", ErrCodingViolation, a, b, i/2)
+			}
+		}
+		return out, nil
+	case FM0:
+		if len(symbols)%2 != 0 {
+			return nil, fmt.Errorf("%w: odd symbol count", ErrCodingViolation)
+		}
+		out := make([]byte, 0, len(symbols)/2)
+		level := byte(1)
+		for i := 0; i < len(symbols); i += 2 {
+			a, b := symbols[i]&1, symbols[i+1]&1
+			// A valid FM0 bit starts by inverting the previous level.
+			if a == level {
+				return out, fmt.Errorf("%w: missing boundary inversion at bit %d", ErrCodingViolation, i/2)
+			}
+			switch {
+			case b == a:
+				out = append(out, 1)
+				level = b
+			default:
+				out = append(out, 0)
+				level = b
+			}
+		}
+		return out, nil
+	default:
+		panic(fmt.Sprintf("linecode: unknown code %d", int(c)))
+	}
+}
+
+// MaxRunLength returns the longest run of identical symbols in a stream
+// — the quantity baseline wander cares about. Manchester and FM0 bound
+// it at 2 for any input.
+func MaxRunLength(symbols []byte) int {
+	if len(symbols) == 0 {
+		return 0
+	}
+	best, run := 1, 1
+	for i := 1; i < len(symbols); i++ {
+		if symbols[i]&1 == symbols[i-1]&1 {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 1
+		}
+	}
+	return best
+}
+
+// DCBalance returns the mean symbol level minus 0.5 — zero for a
+// perfectly balanced stream.
+func DCBalance(symbols []byte) float64 {
+	if len(symbols) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, s := range symbols {
+		sum += int(s & 1)
+	}
+	return float64(sum)/float64(len(symbols)) - 0.5
+}

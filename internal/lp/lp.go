@@ -1,0 +1,254 @@
+// Package lp implements a small dense linear-program solver used by the
+// carrier-offload engine to solve the mode-fraction program of Eq. (1) in
+// the paper, and by tests to cross-check the closed-form solution.
+//
+// The solver handles problems in standard form:
+//
+//	minimize    cᵀx
+//	subject to  A x = b,  x ≥ 0
+//
+// using two-phase primal simplex with Bland's rule (which guarantees
+// termination). The offload problem has three variables and two equality
+// constraints, so numerical performance is a non-issue; the implementation
+// favors clarity and robustness over speed.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is a linear program in standard equality form.
+type Problem struct {
+	// C is the cost vector (length n).
+	C []float64
+	// A is the constraint matrix (m rows of length n).
+	A [][]float64
+	// B is the right-hand side (length m). Entries may be negative; the
+	// solver normalizes signs internally.
+	B []float64
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	// X is the optimal point (length n).
+	X []float64
+	// Objective is cᵀx at the optimum.
+	Objective float64
+}
+
+// Errors returned by Solve.
+var (
+	// ErrInfeasible reports that no x ≥ 0 satisfies Ax = b.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded reports that the objective decreases without bound.
+	ErrUnbounded = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// Validate checks the problem dimensions.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return errors.New("lp: empty cost vector")
+	}
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("lp: %d constraint rows but %d right-hand sides", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// tableau is a simplex tableau with an explicit basis.
+type tableau struct {
+	a     [][]float64 // m x n constraint coefficients
+	b     []float64   // m right-hand side
+	c     []float64   // n reduced-ish cost vector (original costs)
+	basis []int       // m basic variable indices
+	m, n  int
+}
+
+// pivot performs a pivot bringing column col into the basis at row.
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	for j := 0; j < t.n; j++ {
+		t.a[row][j] /= p
+	}
+	t.b[row] /= p
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.b[i] -= f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+// reducedCosts computes the simplex multipliers and the reduced cost of
+// each column for the current basis, assuming the tableau rows have been
+// kept in canonical form (basic columns are unit vectors).
+func (t *tableau) reducedCosts() []float64 {
+	r := make([]float64, t.n)
+	copy(r, t.c)
+	for i, bi := range t.basis {
+		if bi < 0 {
+			continue // redundant zeroed row
+		}
+		cb := t.c[bi]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			r[j] -= cb * t.a[i][j]
+		}
+	}
+	return r
+}
+
+// iterate runs primal simplex with Bland's rule until optimal or
+// unbounded.
+func (t *tableau) iterate() error {
+	for {
+		r := t.reducedCosts()
+		// Bland's rule: entering variable is the lowest-index column with
+		// a negative reduced cost.
+		col := -1
+		for j := 0; j < t.n; j++ {
+			if r[j] < -eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return nil // optimal
+		}
+		// Ratio test, again lowest index on ties (Bland).
+		row := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][col] > eps {
+				ratio := t.b[i] / t.a[i][col]
+				if ratio < best-eps || (math.Abs(ratio-best) <= eps && (row < 0 || t.basis[i] < t.basis[row])) {
+					best = ratio
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return ErrUnbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+// Solve solves the linear program. It returns ErrInfeasible or
+// ErrUnbounded when appropriate.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.C)
+	m := len(p.B)
+
+	// Phase 1: introduce one artificial variable per row and minimize
+	// their sum. Normalize b ≥ 0 first.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := range a {
+		a[i] = make([]float64, n+m)
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			a[i][j] = sign * p.A[i][j]
+		}
+		a[i][n+i] = 1
+		b[i] = sign * p.B[i]
+	}
+	c1 := make([]float64, n+m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		c1[n+i] = 1
+		basis[i] = n + i
+	}
+	t := &tableau{a: a, b: b, c: c1, basis: basis, m: m, n: n + m}
+	if err := t.iterate(); err != nil {
+		// Phase 1 cannot be unbounded (costs are nonnegative), so any
+		// error here is a genuine solver failure.
+		return nil, err
+	}
+	phase1 := 0.0
+	for i, bi := range t.basis {
+		phase1 += t.c[bi] * t.b[i]
+	}
+	if phase1 > 1e-7 {
+		return nil, ErrInfeasible
+	}
+	// Drive any artificial variables out of the basis (degenerate case).
+	for i := 0; i < m; i++ {
+		if t.basis[i] >= n {
+			pivoted := false
+			for j := 0; j < n; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it so it cannot affect phase 2.
+				for j := range t.a[i] {
+					t.a[i][j] = 0
+				}
+				t.b[i] = 0
+			}
+		}
+	}
+
+	// Phase 2: drop the artificial columns (all non-basic now, except in
+	// redundant zero rows marked inert above) and minimize the real
+	// objective over the original variables.
+	for i := range t.a {
+		t.a[i] = t.a[i][:n]
+	}
+	t.n = n
+	t.c = make([]float64, n)
+	copy(t.c, p.C)
+	for i, bi := range t.basis {
+		if bi >= n {
+			// Redundant zeroed row: mark it inert. The row is entirely
+			// zero, so it never participates in pivots and contributes
+			// nothing to the solution.
+			t.basis[i] = -1
+		}
+	}
+	if err := t.iterate(); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, bi := range t.basis {
+		if bi >= 0 && bi < n && t.b[i] > eps {
+			x[bi] = t.b[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * x[j]
+	}
+	return &Solution{X: x, Objective: obj}, nil
+}

@@ -1,0 +1,250 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestSimpleEquality(t *testing.T) {
+	// min x1 + 2 x2  s.t. x1 + x2 = 1  ⇒ x = (1, 0), obj 1.
+	s := solveOK(t, &Problem{
+		C: []float64{1, 2},
+		A: [][]float64{{1, 1}},
+		B: []float64{1},
+	})
+	if math.Abs(s.X[0]-1) > 1e-9 || math.Abs(s.X[1]) > 1e-9 {
+		t.Errorf("X = %v, want [1 0]", s.X)
+	}
+	if math.Abs(s.Objective-1) > 1e-9 {
+		t.Errorf("obj = %v, want 1", s.Objective)
+	}
+}
+
+func TestTwoConstraints(t *testing.T) {
+	// min 2x + 3y + z
+	// s.t. x + y + z = 10
+	//      x - y     = 2
+	// Optimum puts weight on the cheap variable z: x=2, y=0, z=8 ⇒ 12.
+	s := solveOK(t, &Problem{
+		C: []float64{2, 3, 1},
+		A: [][]float64{{1, 1, 1}, {1, -1, 0}},
+		B: []float64{10, 2},
+	})
+	want := []float64{2, 0, 8}
+	for i := range want {
+		if math.Abs(s.X[i]-want[i]) > 1e-8 {
+			t.Fatalf("X = %v, want %v", s.X, want)
+		}
+	}
+	if math.Abs(s.Objective-12) > 1e-8 {
+		t.Errorf("obj = %v, want 12", s.Objective)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x - y = -3, x + y = 5 ⇒ x=1, y=4.
+	s := solveOK(t, &Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, -1}, {1, 1}},
+		B: []float64{-3, 5},
+	})
+	if math.Abs(s.X[0]-1) > 1e-9 || math.Abs(s.X[1]-4) > 1e-9 {
+		t.Errorf("X = %v, want [1 4]", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x + y = 1 and x + y = 2 cannot both hold.
+	_, err := Solve(&Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 1}, {1, 1}},
+		B: []float64{1, 2},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestInfeasibleNegativity(t *testing.T) {
+	// x = -1 has no solution with x >= 0.
+	_, err := Solve(&Problem{
+		C: []float64{1},
+		A: [][]float64{{1}},
+		B: []float64{-1},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x - y s.t. x - y = 0: x = y → ∞ drives the objective down.
+	_, err := Solve(&Problem{
+		C: []float64{-1, -1},
+		A: [][]float64{{1, -1}},
+		B: []float64{0},
+	})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestRedundantRow(t *testing.T) {
+	// Second row is 2x the first; solver must tolerate the redundancy.
+	s := solveOK(t, &Problem{
+		C: []float64{1, 2},
+		A: [][]float64{{1, 1}, {2, 2}},
+		B: []float64{1, 2},
+	})
+	if math.Abs(s.X[0]+s.X[1]-1) > 1e-8 {
+		t.Errorf("constraint violated: X = %v", s.X)
+	}
+	if math.Abs(s.Objective-1) > 1e-8 {
+		t.Errorf("obj = %v, want 1", s.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A degenerate vertex (b has a zero) must not cycle thanks to Bland's
+	// rule.
+	s := solveOK(t, &Problem{
+		C: []float64{1, 1, 1},
+		A: [][]float64{{1, 1, 0}, {0, 1, 1}},
+		B: []float64{1, 0},
+	})
+	if math.Abs(s.Objective-1) > 1e-8 {
+		t.Errorf("obj = %v, want 1", s.Objective)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Problem{
+		{C: nil},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}},
+		{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// TestOffloadShape solves the exact structure used by the carrier offload
+// algorithm (Eq. 1 of the paper) and checks the invariants the engine
+// relies on: the fractions sum to one and the consumption ratio matches.
+func TestOffloadShape(t *testing.T) {
+	// Per-bit costs (J/bit): active, passive, backscatter at 1 Mbps,
+	// matching the calibrated Braidio power table (92/87.6 mW active,
+	// 127.3 mW / 50 µW passive, 36.4 µW / 129 mW backscatter).
+	T := []float64{92e-9, 127.3e-9, 36.4e-12} // tx
+	R := []float64{87.6e-9, 50e-12, 129e-9}   // rx
+	ratio := 100.0                            // E1:E2 = 100:1
+	// Constraint: sum p_i (T_i - ratio*R_i) = 0, sum p_i = 1.
+	a := make([]float64, 3)
+	c := make([]float64, 3)
+	for i := range a {
+		a[i] = T[i] - ratio*R[i]
+		c[i] = T[i] + R[i]
+	}
+	s := solveOK(t, &Problem{
+		C: c,
+		A: [][]float64{{1, 1, 1}, a},
+		B: []float64{1, 0},
+	})
+	sum := s.X[0] + s.X[1] + s.X[2]
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	var tx, rx float64
+	for i := range s.X {
+		tx += s.X[i] * T[i]
+		rx += s.X[i] * R[i]
+	}
+	if math.Abs(tx/rx-ratio)/ratio > 1e-4 {
+		t.Errorf("consumption ratio = %v, want %v", tx/rx, ratio)
+	}
+	// At 100:1 the optimum should mix passive and backscatter only
+	// (line BC of Fig. 9), never active.
+	if s.X[0] > 1e-9 {
+		t.Errorf("active fraction = %v, want 0", s.X[0])
+	}
+}
+
+// TestAgainstVertexEnumeration compares the simplex optimum with exact
+// enumeration of the basic feasible solutions of random offload-shaped
+// problems. With three variables and the two constraints Σp = 1 and
+// Σ a·p = 0, every vertex has support of at most two variables, so the
+// optimum is computable in closed form.
+func TestAgainstVertexEnumeration(t *testing.T) {
+	f := func(seedT1, seedT2, seedT3, seedR1, seedR2, seedR3, seedRatio uint8) bool {
+		T := []float64{1 + float64(seedT1), 1 + float64(seedT2), 1 + float64(seedT3)}
+		R := []float64{1 + float64(seedR1), 1 + float64(seedR2), 1 + float64(seedR3)}
+		ratio := 0.1 + float64(seedRatio)/16
+		a := make([]float64, 3)
+		c := make([]float64, 3)
+		for i := range a {
+			a[i] = T[i] - ratio*R[i]
+			c[i] = T[i] + R[i]
+		}
+		best := math.Inf(1)
+		// Single-variable supports: p_i = 1 needs a_i = 0.
+		for i := 0; i < 3; i++ {
+			if math.Abs(a[i]) < 1e-12 && c[i] < best {
+				best = c[i]
+			}
+		}
+		// Two-variable supports {i, j}: p_i = a_j / (a_j - a_i).
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				den := a[j] - a[i]
+				if math.Abs(den) < 1e-12 {
+					continue
+				}
+				pi := a[j] / den
+				pj := 1 - pi
+				if pi < -1e-12 || pj < -1e-12 {
+					continue
+				}
+				if obj := pi*c[i] + pj*c[j]; obj < best {
+					best = obj
+				}
+			}
+		}
+		sol, err := Solve(&Problem{C: c, A: [][]float64{{1, 1, 1}, a}, B: []float64{1, 0}})
+		if err != nil {
+			return errors.Is(err, ErrInfeasible) && math.IsInf(best, 1)
+		}
+		if math.IsInf(best, 1) {
+			return false // simplex found a solution the enumeration missed
+		}
+		return math.Abs(sol.Objective-best) <= 1e-6*math.Max(1, best)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolveOffloadShape(b *testing.B) {
+	p := &Problem{
+		C: []float64{123e-9, 127.35e-9, 129.04e-9},
+		A: [][]float64{{1, 1, 1}, {57e-9, 127.25e-9, -1.25e-9}},
+		B: []float64{1, 0},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package mac
+
+import (
+	"errors"
+
+	"braidio/internal/energy"
+	"braidio/internal/units"
+)
+
+// Duplex runs bidirectional traffic between two endpoints A and B at the
+// packet level — the Fig. 17 scenario with real frames. It is two
+// Sessions wired crosswise over the *same* two batteries, so energy
+// spent in one direction is visible to the other direction's offload
+// allocation at its next recompute.
+//
+// In a highly asymmetric pair the poor device ends up on the cheap side
+// of both directions: backscattering when it talks, envelope-detecting
+// when it listens.
+type Duplex struct {
+	// AB carries A→B traffic, BA carries B→A.
+	AB, BA *Session
+
+	battA, battB *energy.Battery
+}
+
+// NewDuplex creates the two crosswise sessions. The batteries are shared
+// and mutated by both directions.
+func NewDuplex(cfg Config, battA, battB *energy.Battery) (*Duplex, error) {
+	if battA == nil || battB == nil {
+		return nil, errors.New("mac: duplex needs two batteries")
+	}
+	abCfg := cfg
+	abCfg.Seed = cfg.Seed*2 + 1
+	ab, err := NewSession(abCfg, battA, battB)
+	if err != nil {
+		return nil, err
+	}
+	baCfg := cfg
+	baCfg.Seed = cfg.Seed*2 + 2
+	ba, err := NewSession(baCfg, battB, battA)
+	if err != nil {
+		return nil, err
+	}
+	return &Duplex{AB: ab, BA: ba, battA: battA, battB: battB}, nil
+}
+
+// Send moves one frame in the given direction (true = A→B).
+func (d *Duplex) Send(aToB bool, payloadLen int) (bool, error) {
+	if aToB {
+		return d.AB.SendFrame(payloadLen)
+	}
+	return d.BA.SendFrame(payloadLen)
+}
+
+// Exchange moves one frame each way, returning how many of the two were
+// delivered.
+func (d *Duplex) Exchange(payloadLen int) (delivered int, err error) {
+	for _, dir := range []bool{true, false} {
+		ok, err := d.Send(dir, payloadLen)
+		if err != nil {
+			return delivered, err
+		}
+		if ok {
+			delivered++
+		}
+	}
+	return delivered, nil
+}
+
+// Dead reports whether either battery has been exhausted.
+func (d *Duplex) Dead() bool { return d.AB.Dead() || d.BA.Dead() }
+
+// Drains returns each endpoint's total energy spent across both
+// directions.
+func (d *Duplex) Drains() (a, b units.Joule) {
+	return d.battA.Drained(), d.battB.Drained()
+}
+
+// SetDistance moves both directions (the endpoints share a geometry).
+func (d *Duplex) SetDistance(m units.Meter) {
+	d.AB.SetDistance(m)
+	d.BA.SetDistance(m)
+}

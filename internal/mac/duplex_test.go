@@ -1,0 +1,126 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"braidio/internal/energy"
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+func newDuplex(t *testing.T, c1, c2 units.WattHour) *Duplex {
+	t.Helper()
+	cfg := DefaultConfig(phy.NewModel(), 0.4, 77)
+	d, err := NewDuplex(cfg, energy.NewBattery(c1), energy.NewBattery(c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDuplexExchanges(t *testing.T) {
+	d := newDuplex(t, 0.01, 0.01)
+	total := 0
+	for i := 0; i < 500; i++ {
+		n, err := d.Exchange(240)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != 1000 {
+		t.Errorf("delivered %d of 1000 frames at 0.4 m", total)
+	}
+	if d.Dead() {
+		t.Error("duplex died on 10 mWh batteries")
+	}
+}
+
+// TestDuplexAsymmetricRoles: with a tiny A and a big B, A ends up on the
+// cheap side of both directions — backscatter when sending, passive
+// (envelope) when receiving — so B pays nearly everything.
+func TestDuplexAsymmetricRoles(t *testing.T) {
+	d := newDuplex(t, 0.0005, 0.05) // 100:1
+	for i := 0; i < 1500; i++ {
+		if _, err := d.Exchange(240); err != nil {
+			t.Fatal(err)
+		}
+	}
+	abStats := d.AB.Stats() // A transmits
+	baStats := d.BA.Stats() // B transmits
+	if f := float64(abStats.ModeFrames[phy.ModeBackscatter]) / float64(abStats.FramesDelivered); f < 0.9 {
+		t.Errorf("A→B backscatter share = %v, want ≈1 (A reflects B's carrier)", f)
+	}
+	if f := float64(baStats.ModeFrames[phy.ModePassive]) / float64(baStats.FramesDelivered); f < 0.9 {
+		t.Errorf("B→A passive share = %v, want ≈1 (A envelope-detects B's carrier)", f)
+	}
+	a, b := d.Drains()
+	if ratio := float64(b / a); ratio < 20 {
+		t.Errorf("B/A drain ratio = %v, want large (B carries the carrier both ways)", ratio)
+	}
+}
+
+// TestDuplexSharedBatteries: both directions drain the same batteries —
+// the sum of the sessions' drains matches the battery accounting.
+func TestDuplexSharedBatteries(t *testing.T) {
+	d := newDuplex(t, 0.002, 0.002)
+	for i := 0; i < 400; i++ {
+		if _, err := d.Exchange(240); err != nil {
+			t.Fatal(err)
+		}
+	}
+	abTX, abRX := d.AB.Drains() // these report battery cumulative drains
+	a, b := d.Drains()
+	// Session Drains() returns the underlying batteries' totals, which
+	// are shared: the AB view equals the duplex view.
+	if float64(abTX) != float64(a) || float64(abRX) != float64(b) {
+		t.Errorf("shared battery accounting diverged: %v/%v vs %v/%v", abTX, abRX, a, b)
+	}
+	// Equal devices exchanging equal traffic: drains roughly balance.
+	if r := float64(a / b); math.Abs(math.Log(r)) > 0.35 {
+		t.Errorf("equal-device duplex drain ratio = %v, want ≈1", r)
+	}
+}
+
+// TestDuplexRunsToDeath: tiny batteries exhaust and Dead reports it.
+func TestDuplexRunsToDeath(t *testing.T) {
+	d := newDuplex(t, 2e-6, 2e-6)
+	for i := 0; i < 100000 && !d.Dead(); i++ {
+		if _, err := d.Exchange(240); err != nil {
+			break
+		}
+	}
+	if !d.Dead() {
+		t.Fatal("duplex never exhausted 2 µWh batteries")
+	}
+}
+
+func TestDuplexMobility(t *testing.T) {
+	d := newDuplex(t, 0.01, 0.01)
+	for i := 0; i < 200; i++ {
+		if _, err := d.Exchange(240); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.SetDistance(3)
+	for i := 0; i < 400; i++ {
+		if _, err := d.Exchange(240); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.AB.Stats().Fallbacks == 0 && d.BA.Stats().Fallbacks == 0 {
+		t.Error("no fallbacks in either direction after moving to 3 m")
+	}
+}
+
+func TestDuplexValidation(t *testing.T) {
+	cfg := DefaultConfig(phy.NewModel(), 0.4, 1)
+	if _, err := NewDuplex(cfg, nil, energy.NewBattery(1)); err == nil {
+		t.Error("nil battery accepted")
+	}
+	bad := DefaultConfig(phy.NewModel(), 9000, 1)
+	if _, err := NewDuplex(bad, energy.NewBattery(1), energy.NewBattery(1)); err == nil {
+		t.Error("out-of-range duplex accepted")
+	}
+}

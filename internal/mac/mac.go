@@ -1,0 +1,452 @@
+// Package mac implements the packet-level braided MAC of §4.2: the
+// protocol machinery above the PHY and below the application. A Session
+// performs the initial battery exchange over the active radio, probes the
+// passive and backscatter links to learn their SNR and best bitrates,
+// asks the carrier-offload optimizer for mode fractions, executes the
+// braided schedule frame by frame (with loss, retransmission, and
+// mode-switch overheads), falls back to the active mode when the current
+// mode's observed SNR collapses, and periodically re-computes the
+// allocation as batteries drain or the channel changes.
+//
+// The chunked engine in internal/core answers "how many bits until a
+// battery dies" analytically; this package exists to exercise the actual
+// protocol dynamics — integration tests drive mobility and battery
+// depletion through it.
+package mac
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"braidio/internal/core"
+	"braidio/internal/energy"
+	"braidio/internal/frame"
+	"braidio/internal/modem"
+	"braidio/internal/phy"
+	"braidio/internal/rng"
+	"braidio/internal/units"
+)
+
+// Config parameterizes a Session.
+type Config struct {
+	// Model is the calibrated PHY.
+	Model *phy.Model
+	// Distance is the initial separation.
+	Distance units.Meter
+	// Seed drives all stochastic elements (losses, SNR estimation
+	// noise).
+	Seed uint64
+	// Window is the braided schedule window, in frames.
+	Window int
+	// RecomputeFrames is how often the allocation is re-solved.
+	RecomputeFrames int
+	// FallbackSNRMargin: when the EWMA SNR of the current mode drops
+	// this far below its decode requirement, the session falls back to
+	// the active mode and re-probes (§4.2's safety net).
+	FallbackSNRMargin units.DB
+	// SNRNoise is the standard deviation (dB) of per-frame SNR
+	// estimates.
+	SNRNoise float64
+	// MaxRetries bounds retransmissions per frame before the frame is
+	// counted lost and the link declared degraded.
+	MaxRetries int
+	// Trace, when non-nil, receives one CSV row per data frame:
+	// frame,mode,rate,attempts,delivered,txJ,rxJ,snrEst. A header row is
+	// written first. Trace output is for offline analysis of a
+	// session's braiding behaviour.
+	Trace io.Writer
+}
+
+// DefaultConfig returns the configuration used by the integration tests.
+func DefaultConfig(m *phy.Model, d units.Meter, seed uint64) Config {
+	return Config{
+		Model:             m,
+		Distance:          d,
+		Seed:              seed,
+		Window:            16,
+		RecomputeFrames:   256,
+		FallbackSNRMargin: 3,
+		SNRNoise:          1.0,
+		MaxRetries:        8,
+	}
+}
+
+// Stats counts session events.
+type Stats struct {
+	// FramesDelivered and FramesLost count data frames.
+	FramesDelivered, FramesLost int
+	// Retransmissions counts extra transmission attempts.
+	Retransmissions int
+	// PayloadBits is the delivered payload volume.
+	PayloadBits float64
+	// Probes counts probe frames sent.
+	Probes int
+	// Recomputes counts allocation recomputations.
+	Recomputes int
+	// Fallbacks counts emergency reversions to the active mode.
+	Fallbacks int
+	// ModeSwitches counts radio reconfigurations.
+	ModeSwitches int
+	// ModeFrames attributes delivered frames to modes.
+	ModeFrames map[phy.Mode]int
+	// AirTime is the cumulative on-air duration.
+	AirTime units.Second
+}
+
+// Session is a braided MAC session moving data from a transmitter to a
+// receiver.
+type Session struct {
+	cfg          Config
+	rng          *rng.Stream
+	txBatt       *energy.Battery
+	rxBatt       *energy.Battery
+	alloc        *core.Allocation
+	sched        *core.Scheduler
+	current      phy.Mode
+	snrEWMA      map[phy.Mode]float64
+	frames       int
+	nextSeq      uint16
+	stats        Stats
+	dead         bool
+	traceStarted bool
+}
+
+// NewSession creates a session, performs the active-mode battery
+// exchange, probes the links, and computes the initial allocation. It
+// returns an error if no mode works at the configured distance or the
+// configuration is invalid.
+func NewSession(cfg Config, txBatt, rxBatt *energy.Battery) (*Session, error) {
+	if cfg.Model == nil || txBatt == nil || rxBatt == nil {
+		return nil, errors.New("mac: session needs a model and two batteries")
+	}
+	if cfg.Window < 1 || cfg.RecomputeFrames < 1 || cfg.MaxRetries < 1 {
+		return nil, fmt.Errorf("mac: invalid config %+v", cfg)
+	}
+	s := &Session{
+		cfg:     cfg,
+		rng:     rng.New(cfg.Seed),
+		txBatt:  txBatt,
+		rxBatt:  rxBatt,
+		current: phy.ModeActive,
+		snrEWMA: make(map[phy.Mode]float64),
+	}
+	s.stats.ModeFrames = make(map[phy.Mode]int)
+	if !s.cfg.Model.Available(phy.ModeActive, cfg.Distance) {
+		return nil, core.ErrOutOfRange
+	}
+	s.exchangeBattery()
+	s.probeAll()
+	if err := s.recompute(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stats returns a copy of the session counters.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Allocation returns the current mode allocation.
+func (s *Session) Allocation() *core.Allocation { return s.alloc }
+
+// CurrentMode returns the mode the radios are configured in.
+func (s *Session) CurrentMode() phy.Mode { return s.current }
+
+// Dead reports whether a battery has been exhausted.
+func (s *Session) Dead() bool { return s.dead }
+
+// SetDistance moves the endpoints (mobility); the session notices
+// degraded SNR through its estimator and falls back / re-probes on its
+// own.
+func (s *Session) SetDistance(d units.Meter) { s.cfg.Distance = d }
+
+// chargeFrame drains both sides for one frame attempt in a mode/rate and
+// advances air time. The airtime is stretched by the mode's protocol
+// duty overhead (the passive transmitter keeps its carrier up through
+// envelope-settling gaps — phy.ProtocolEfficiency). Returns false when a
+// battery died.
+func (s *Session) chargeFrame(m phy.Mode, r units.BitRate, wireBits float64) bool {
+	t := units.Second(wireBits / float64(r) / phy.ProtocolEfficiency(m))
+	okTX := s.txBatt.DrainPower(phy.TXPower(m, r), t)
+	okRX := s.rxBatt.DrainPower(phy.RXPower(m, r), t)
+	s.stats.AirTime += t
+	if !okTX || !okRX {
+		s.dead = true
+		return false
+	}
+	return true
+}
+
+// exchangeBattery models the initial telemetry handshake: one battery
+// frame in each direction over the active radio.
+func (s *Session) exchangeBattery() {
+	wire := float64(frame.WireBits(2))
+	s.chargeFrame(phy.ModeActive, units.Rate1M, wire)
+	s.chargeFrame(phy.ModeActive, units.Rate1M, wire)
+}
+
+// refRate is the reference rate each mode's SNR estimator is kept in:
+// the slowest (quietest) rate for the envelope links, 1 Mbps for the
+// active radio.
+func refRate(m phy.Mode) units.BitRate {
+	if m == phy.ModeActive {
+		return units.Rate1M
+	}
+	return units.Rate10k
+}
+
+// measureSNR returns a noisy per-frame SNR observation for a mode at its
+// reference rate. The true channel provides the mean; the session only
+// ever acts on the noisy estimate.
+func (s *Session) measureSNR(m phy.Mode) (units.DB, units.BitRate) {
+	r := refRate(m)
+	snr := float64(s.cfg.Model.SNR(m, r, s.cfg.Distance))
+	return units.DB(snr + s.rng.Norm()*s.cfg.SNRNoise), r
+}
+
+// estimatedSNRAt converts the reference-rate estimate to the SNR the
+// mode would see at another rate, using only calibration constants (the
+// per-rate noise floors), never the true distance.
+func (s *Session) estimatedSNRAt(m phy.Mode, r units.BitRate) units.DB {
+	est, ok := s.snrEWMA[m]
+	if !ok {
+		return units.DB(math.Inf(-1))
+	}
+	ref := refRate(m)
+	// SNR(r) − SNR(ref) = noise(ref) − noise(r), and each noise floor is
+	// the calibrated sensitivity minus the scheme's decode requirement.
+	needRef := units.DBFromRatio(modem.SNRForBER(phy.SchemeAt(m, ref), phy.RangeBERTarget))
+	needR := units.DBFromRatio(modem.SNRForBER(phy.SchemeAt(m, r), phy.RangeBERTarget))
+	noiseRef := phy.Sensitivity(m, ref).Sub(needRef)
+	noiseR := phy.Sensitivity(m, r).Sub(needR)
+	return units.DB(est) + units.DB(noiseRef-noiseR)
+}
+
+// adaptRate picks the fastest rate whose estimated SNR clears the decode
+// requirement with 1 dB of headroom — the estimator-driven equivalent of
+// the oracle's BestRate.
+func (s *Session) adaptRate(m phy.Mode) (units.BitRate, bool) {
+	const headroom = 1.0
+	rates := phy.Rates[:]
+	if m == phy.ModeActive {
+		rates = []units.BitRate{units.Rate1M}
+	}
+	for _, r := range rates {
+		need := units.DBFromRatio(modem.SNRForBER(phy.SchemeAt(m, r), phy.RangeBERTarget))
+		if float64(s.estimatedSNRAt(m, r)) >= float64(need)+headroom {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// probeBits is a probe's airtime: a preamble-and-RSSI-snapshot's worth,
+// far shorter than a data frame (probes run at the slow reference rate,
+// so their duration is what costs energy).
+const probeBits = 32
+
+// probeAll sends probe frames over every mode and seeds the SNR
+// estimators (§4.2: "The two end-points use probe packets over the two
+// links to determine the SNR and bitrate parameters").
+func (s *Session) probeAll() {
+	for _, m := range phy.Modes {
+		snr, r := s.measureSNR(m)
+		s.snrEWMA[m] = float64(snr)
+		s.stats.Probes++
+		s.chargeFrame(m, r, probeBits)
+	}
+}
+
+// characterize builds the mode links from the session's own SNR
+// estimates and rate adaptation — the measured equivalent of the PHY
+// oracle's Characterize, using only quantities a real endpoint has:
+// probe estimates and calibration constants.
+func (s *Session) characterize() []phy.ModeLink {
+	var links []phy.ModeLink
+	for _, m := range phy.Modes {
+		r, ok := s.adaptRate(m)
+		if !ok {
+			continue
+		}
+		good := units.BitRate(float64(r) * frame.Efficiency(frame.DefaultPayload) * phy.ProtocolEfficiency(m))
+		links = append(links, phy.ModeLink{
+			Mode: m, Rate: r, Good: good,
+			T: units.PerBit(phy.TXPower(m, r), good),
+			R: units.PerBit(phy.RXPower(m, r), good),
+		})
+	}
+	return links
+}
+
+// recompute re-solves the allocation from current battery levels and
+// the measured link characterization, and rebuilds the schedule.
+func (s *Session) recompute() error {
+	links := s.characterize()
+	if len(links) == 0 {
+		return core.ErrOutOfRange
+	}
+	alloc, err := core.Optimize(links, s.txBatt.Remaining(), s.rxBatt.Remaining())
+	if err != nil {
+		return err
+	}
+	s.alloc = alloc
+	if s.sched == nil {
+		s.sched = core.NewScheduler(alloc.Links, alloc.P)
+	} else {
+		s.sched.Retarget(alloc.Links, alloc.P)
+	}
+	s.stats.Recomputes++
+	return nil
+}
+
+// switchTo reconfigures the radios, charging the Table 5 overheads.
+func (s *Session) switchTo(m phy.Mode, r units.BitRate) {
+	if m == s.current {
+		return
+	}
+	tx, rx := phy.SwitchCost(m, r)
+	s.txBatt.Drain(tx)
+	s.rxBatt.Drain(rx)
+	s.current = m
+	s.stats.ModeSwitches++
+}
+
+// fallback reverts to the active mode after the current mode degraded
+// (§4.2: "Braidio simply falls back to the active mode if the current
+// operating mode is performing poorly"), then re-probes and re-computes.
+func (s *Session) fallback() error {
+	s.stats.Fallbacks++
+	s.switchTo(phy.ModeActive, units.Rate1M)
+	s.probeAll()
+	return s.recompute()
+}
+
+// SendFrame moves one data frame of the given payload size through the
+// braid, retransmitting on loss. It returns whether the frame was
+// delivered; delivery fails when a battery dies or the frame exceeds
+// MaxRetries (which triggers fallback).
+func (s *Session) SendFrame(payloadLen int) (bool, error) {
+	if s.dead {
+		return false, errors.New("mac: session battery exhausted")
+	}
+	if payloadLen < 0 || payloadLen > frame.MaxPayload {
+		return false, fmt.Errorf("mac: payload %d outside [0,%d]", payloadLen, frame.MaxPayload)
+	}
+	if s.frames > 0 && s.frames%s.cfg.RecomputeFrames == 0 {
+		// Every few recomputes, re-probe to keep estimates fresh for
+		// modes the current allocation never exercises — the only way
+		// to notice a link that *improved* (moving closer never
+		// triggers a fallback).
+		if (s.frames/s.cfg.RecomputeFrames)%2 == 0 {
+			s.probeAll()
+		}
+		if err := s.recompute(); err != nil {
+			return false, err
+		}
+	}
+	s.frames++
+
+	mode := s.sched.Next().Mode
+	rate, ok := s.adaptRate(mode)
+	if !ok {
+		// The estimator says the scheduled mode no longer decodes
+		// (mobility): fall back and retry on the new schedule.
+		if err := s.fallback(); err != nil {
+			return false, err
+		}
+		mode, rate = phy.ModeActive, units.Rate1M
+	}
+	s.switchTo(mode, rate)
+
+	ber := s.cfg.Model.BER(mode, rate, s.cfg.Distance)
+	fer := frame.FrameErrorRate(ber, payloadLen)
+	wire := float64(frame.WireBits(payloadLen))
+
+	for attempt := 0; attempt <= s.cfg.MaxRetries; attempt++ {
+		if !s.chargeFrame(mode, rate, wire) {
+			return false, nil
+		}
+		// Update the SNR estimator with this frame's observation.
+		snr, _ := s.measureSNR(mode)
+		s.snrEWMA[mode] = 0.9*s.snrEWMA[mode] + 0.1*float64(snr)
+		if s.rng.Float64() >= fer {
+			s.stats.FramesDelivered++
+			s.stats.ModeFrames[mode]++
+			s.stats.PayloadBits += float64(8 * payloadLen)
+			s.nextSeq++
+			s.trace(mode, rate, attempt+1, true)
+			s.maybeFallback(mode, rate)
+			return true, nil
+		}
+		s.stats.Retransmissions++
+	}
+	s.stats.FramesLost++
+	s.trace(mode, rate, s.cfg.MaxRetries+1, false)
+	if err := s.fallback(); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// trace emits one per-frame CSV row when tracing is enabled.
+func (s *Session) trace(mode phy.Mode, rate units.BitRate, attempts int, delivered bool) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	if !s.traceStarted {
+		fmt.Fprintln(s.cfg.Trace, "frame,mode,rate,attempts,delivered,txJ,rxJ,snrEst")
+		s.traceStarted = true
+	}
+	tx, rx := s.Drains()
+	fmt.Fprintf(s.cfg.Trace, "%d,%v,%v,%d,%t,%.6g,%.6g,%.2f\n",
+		s.frames, mode, rate, attempts, delivered,
+		float64(tx), float64(rx), s.snrEWMA[mode])
+}
+
+// maybeFallback checks the estimator against the fallback margin.
+func (s *Session) maybeFallback(mode phy.Mode, rate units.BitRate) {
+	if mode == phy.ModeActive {
+		return
+	}
+	// The decode requirement in dB for the mode's scheme at the range
+	// target; estimates below (requirement − margin) trigger fallback.
+	need := units.DBFromRatio(modem.SNRForBER(phy.SchemeAt(mode, rate), phy.RangeBERTarget))
+	if s.snrEWMA[mode] < float64(need)-float64(s.cfg.FallbackSNRMargin) {
+		// Ignore the error: if even active is gone we notice on the
+		// next SendFrame.
+		_ = s.fallback()
+	}
+}
+
+// Drains returns the energy drawn so far at each side.
+func (s *Session) Drains() (tx, rx units.Joule) {
+	return s.txBatt.Drained(), s.rxBatt.Drained()
+}
+
+// EffectiveGoodput returns delivered payload bits per second of air time.
+func (s *Session) EffectiveGoodput() units.BitRate {
+	if s.stats.AirTime <= 0 {
+		return 0
+	}
+	return units.BitRate(s.stats.PayloadBits / float64(s.stats.AirTime))
+}
+
+// LossRate returns lost frames / attempted frames.
+func (s *Session) LossRate() float64 {
+	total := s.stats.FramesDelivered + s.stats.FramesLost
+	if total == 0 {
+		return 0
+	}
+	return float64(s.stats.FramesLost) / float64(total)
+}
+
+// SNREstimate returns the EWMA SNR estimate for a mode (NaN before any
+// probe).
+func (s *Session) SNREstimate(m phy.Mode) units.DB {
+	v, ok := s.snrEWMA[m]
+	if !ok {
+		return units.DB(math.NaN())
+	}
+	return units.DB(v)
+}

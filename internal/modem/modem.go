@@ -1,0 +1,264 @@
+// Package modem implements the modulation and detection layer: OOK/ASK
+// (what the backscatter tag and envelope detector speak), binary FSK
+// (what the tag uses at higher rates), and the bit-error-rate models that
+// the link characterization (Figs. 12 and 13) is built on.
+//
+// Analytic BER expressions for non-coherent detection are the standard
+// ones from digital-communications texts:
+//
+//	non-coherent OOK : Pb = ½·exp(−γ/4)·(1 + erfc-ish corrections) ≈ ½·exp(−γ/4)
+//	non-coherent FSK : Pb = ½·exp(−γ/2)
+//	coherent    PSK  : Pb = Q(√(2γ))
+//
+// where γ is the per-bit SNR. We use the dominant exponential terms; the
+// Monte-Carlo detector in this package validates them within the accuracy
+// the experiments need.
+package modem
+
+import (
+	"fmt"
+	"math"
+
+	"braidio/internal/rng"
+	"braidio/internal/units"
+)
+
+// Scheme identifies a modulation / detection scheme.
+type Scheme int
+
+// Supported schemes.
+const (
+	// OOKNonCoherent is on-off keying with envelope detection: the
+	// backscatter uplink and the passive-receiver downlink.
+	OOKNonCoherent Scheme = iota
+	// FSKNonCoherent is binary FSK with non-coherent discrimination,
+	// used by the tag's several-MHz-clock FSK option.
+	FSKNonCoherent
+	// PSKCoherent is coherent BPSK, the active radio's class of
+	// detection.
+	PSKCoherent
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case OOKNonCoherent:
+		return "OOK(non-coherent)"
+	case FSKNonCoherent:
+		return "FSK(non-coherent)"
+	case PSKCoherent:
+		return "PSK(coherent)"
+	case QAM16Coherent:
+		return "16-QAM(coherent)"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// qfunc is the Gaussian tail probability Q(x).
+func qfunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// BER returns the analytic bit error rate for a given per-bit SNR
+// (linear). SNR ≤ 0 yields 0.5 (pure guessing).
+func BER(s Scheme, snr float64) float64 {
+	if snr <= 0 {
+		return 0.5
+	}
+	var p float64
+	switch s {
+	case OOKNonCoherent:
+		// Optimal-threshold envelope detection of OOK.
+		p = 0.5 * math.Exp(-snr/4)
+	case FSKNonCoherent:
+		p = 0.5 * math.Exp(-snr/2)
+	case PSKCoherent:
+		p = qfunc(math.Sqrt(2 * snr))
+	case QAM16Coherent:
+		p = qam16BER(snr)
+	default:
+		panic(fmt.Sprintf("modem: unknown scheme %d", int(s)))
+	}
+	if p > 0.5 {
+		p = 0.5
+	}
+	return p
+}
+
+// BERFromDB is BER with the SNR given in dB.
+func BERFromDB(s Scheme, snr units.DB) float64 { return BER(s, snr.Ratio()) }
+
+// SNRForBER inverts BER: the per-bit SNR (linear) needed to reach a
+// target error rate. It panics for targets outside (0, 0.5).
+func SNRForBER(s Scheme, target float64) float64 {
+	if target <= 0 || target >= 0.5 {
+		panic(fmt.Sprintf("modem: BER target %v outside (0, 0.5)", target))
+	}
+	switch s {
+	case OOKNonCoherent:
+		return -4 * math.Log(2*target)
+	case FSKNonCoherent:
+		return -2 * math.Log(2*target)
+	case PSKCoherent, QAM16Coherent:
+		// Bisection on the monotone tail expressions.
+		lo, hi := 0.0, 1000.0
+		for i := 0; i < 200; i++ {
+			mid := (lo + hi) / 2
+			if BER(s, mid) > target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return (lo + hi) / 2
+	default:
+		panic(fmt.Sprintf("modem: unknown scheme %d", int(s)))
+	}
+}
+
+// Waveform synthesis: the tag's view of a bit stream as envelope samples.
+
+// OOKWaveform expands bits into an envelope waveform with the given
+// samples per bit and high/low levels (e.g. the two reflection states of
+// the RF transistor).
+func OOKWaveform(bits []byte, samplesPerBit int, low, high float64) []float64 {
+	if samplesPerBit < 1 {
+		panic("modem: samplesPerBit must be ≥ 1")
+	}
+	out := make([]float64, 0, len(bits)*samplesPerBit)
+	for _, b := range bits {
+		level := low
+		if b != 0 {
+			level = high
+		}
+		for s := 0; s < samplesPerBit; s++ {
+			out = append(out, level)
+		}
+	}
+	return out
+}
+
+// DetectOOK integrates each bit period of a (possibly noisy) envelope
+// waveform and slices against the midpoint threshold, returning the
+// recovered bits.
+func DetectOOK(wave []float64, samplesPerBit int, low, high float64) []byte {
+	if samplesPerBit < 1 {
+		panic("modem: samplesPerBit must be ≥ 1")
+	}
+	n := len(wave) / samplesPerBit
+	threshold := (low + high) / 2
+	bits := make([]byte, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for s := 0; s < samplesPerBit; s++ {
+			sum += wave[i*samplesPerBit+s]
+		}
+		if sum/float64(samplesPerBit) > threshold {
+			bits[i] = 1
+		}
+	}
+	return bits
+}
+
+// MonteCarloBER estimates the OOK envelope-detection error rate at a
+// per-bit SNR by simulating transmission of n random bits through an
+// additive-noise envelope channel with single-sample-per-bit matched
+// integration. It exists to validate the analytic model; agreement within
+// a factor of ~2 in the 1e-1..1e-4 regime is expected for the simplified
+// detector.
+func MonteCarloBER(s Scheme, snr float64, n int, stream *rng.Stream) float64 {
+	if n <= 0 {
+		panic("modem: non-positive sample count")
+	}
+	if stream == nil {
+		panic("modem: nil stream")
+	}
+	if snr <= 0 {
+		return 0.5
+	}
+	errs := 0
+	switch s {
+	case OOKNonCoherent:
+		// Envelope detection: "on" bits ride a Rician envelope, "off"
+		// bits a Rayleigh envelope; threshold at half the signal
+		// amplitude (the practical comparator setting).
+		amp := math.Sqrt(2 * snr) // signal amplitude for unit-σ noise
+		th := amp / 2
+		for i := 0; i < n; i++ {
+			bit := stream.Bool()
+			var env float64
+			if bit {
+				env = stream.Rician(amp, 1)
+			} else {
+				env = stream.Rayleigh(1)
+			}
+			if (env > th) != bit {
+				errs++
+			}
+		}
+	case FSKNonCoherent:
+		// Two envelope branches; the bit selects which branch carries
+		// the tone, and the detector picks the larger envelope.
+		amp := math.Sqrt(2 * snr)
+		for i := 0; i < n; i++ {
+			bit := stream.Bool()
+			var b0, b1 float64
+			if bit {
+				b1 = stream.Rician(amp, 1)
+				b0 = stream.Rayleigh(1)
+			} else {
+				b0 = stream.Rician(amp, 1)
+				b1 = stream.Rayleigh(1)
+			}
+			if (b1 > b0) != bit {
+				errs++
+			}
+		}
+	case PSKCoherent:
+		// Antipodal signaling in Gaussian noise.
+		amp := math.Sqrt(2 * snr)
+		for i := 0; i < n; i++ {
+			bit := stream.Bool()
+			sig := amp
+			if !bit {
+				sig = -amp
+			}
+			if (sig+stream.Norm() > 0) != bit {
+				errs++
+			}
+		}
+	default:
+		panic(fmt.Sprintf("modem: unknown scheme %d", int(s)))
+	}
+	return float64(errs) / float64(n)
+}
+
+// SchemeForMode returns the detection scheme each Braidio mode uses:
+// the active link is a coherent radio; both envelope-detected links are
+// non-coherent OOK.
+func SchemeForMode(passiveOrBackscatter bool) Scheme {
+	if passiveOrBackscatter {
+		return OOKNonCoherent
+	}
+	return PSKCoherent
+}
+
+// QAM16Coherent is 16-QAM with coherent detection — the high-order
+// backscatter modulation of Thomas & Reynolds [48] that quadruples
+// throughput per symbol. Added as an extension; Braidio's prototype
+// links are binary.
+const QAM16Coherent Scheme = 3
+
+// QAM16BitsPerSymbol is the spectral advantage over the binary schemes.
+const QAM16BitsPerSymbol = 4
+
+// qam16BER returns the standard Gray-coded 16-QAM bit error
+// approximation: Pb ≈ (3/4)·Q(√(0.8·γb)).
+func qam16BER(snr float64) float64 {
+	p := 0.75 * qfunc(math.Sqrt(0.8*snr))
+	if p > 0.5 {
+		p = 0.5
+	}
+	return p
+}

@@ -1,0 +1,338 @@
+// Package phy models Braidio's physical layer: the three operating modes
+// (named, as in §4, after where the carrier lives), their link budgets,
+// bit error rates, achievable bitrates at a given distance, per-bit
+// energy costs, and the operating regimes of Fig. 8.
+//
+// The calibration constants binding this model to the paper's measured
+// prototype are collected in calibration.go.
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"braidio/internal/frame"
+	"braidio/internal/modem"
+	"braidio/internal/rf"
+	"braidio/internal/units"
+)
+
+// Mode is one of Braidio's three operating modes, named after the
+// receiver state (§4): in Active both ends run their carrier; in Passive
+// only the transmitter does (the receiver uses the envelope detector); in
+// Backscatter only the receiver does (the transmitter is a tag).
+type Mode int
+
+// The three modes.
+const (
+	ModeActive Mode = iota
+	ModePassive
+	ModeBackscatter
+)
+
+// Modes lists all modes in canonical order (the order of the p_i in
+// Eq. 1).
+var Modes = [3]Mode{ModeActive, ModePassive, ModeBackscatter}
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeActive:
+		return "active"
+	case ModePassive:
+		return "passive"
+	case ModeBackscatter:
+		return "backscatter"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Scheme returns the detection scheme the mode uses at its typical
+// operating point; SchemeAt refines it per rate.
+func (m Mode) Scheme() modem.Scheme {
+	return SchemeAt(m, units.Rate100k)
+}
+
+// SchemeAt returns the detection scheme for a mode at a rate. The active
+// link is a coherent radio; the envelope-detected links are non-coherent
+// OOK — except the 1 Mbps backscatter uplink, where the tag's modulator
+// runs an FSK clock ("a few tens of kHz for ASK modulation, and around
+// several MHz for FSK modulation", §2.2).
+func SchemeAt(m Mode, r units.BitRate) modem.Scheme {
+	switch {
+	case m == ModeActive:
+		return modem.PSKCoherent
+	case m == ModeBackscatter && r >= units.Rate1M:
+		return modem.FSKNonCoherent
+	default:
+		return modem.OOKNonCoherent
+	}
+}
+
+// Rates lists the calibrated operating bitrates, fastest first.
+var Rates = [3]units.BitRate{units.Rate1M, units.Rate100k, units.Rate10k}
+
+// TXPower returns the data transmitter's draw in a mode at a rate.
+func TXPower(m Mode, r units.BitRate) units.Watt {
+	switch m {
+	case ModeActive:
+		return ActiveTXPower
+	case ModePassive:
+		return PassiveTXPower
+	case ModeBackscatter:
+		return BackscatterTXPower(r)
+	default:
+		panic(fmt.Sprintf("phy: unknown mode %d", int(m)))
+	}
+}
+
+// RXPower returns the data receiver's draw in a mode at a rate.
+func RXPower(m Mode, r units.BitRate) units.Watt {
+	switch m {
+	case ModeActive:
+		return ActiveRXPower
+	case ModePassive:
+		return PassiveRXPower(r)
+	case ModeBackscatter:
+		return BackscatterRXPower
+	default:
+		panic(fmt.Sprintf("phy: unknown mode %d", int(m)))
+	}
+}
+
+// Sensitivity returns the minimum received power for the mode/rate to
+// meet RangeBERTarget.
+func Sensitivity(m Mode, r units.BitRate) units.DBm {
+	switch m {
+	case ModeActive:
+		return ActiveSensitivity
+	case ModePassive:
+		return PassiveSensitivity(r)
+	case ModeBackscatter:
+		return BackscatterSensitivity(r)
+	default:
+		panic(fmt.Sprintf("phy: unknown mode %d", int(m)))
+	}
+}
+
+// Model is the link-level channel model between two Braidio boards.
+type Model struct {
+	// OneWay is the budget of the active and passive links.
+	OneWay rf.Link
+	// RoundTrip is the monostatic backscatter budget.
+	RoundTrip rf.BackscatterLink
+	// PayloadLen sets the framing used for goodput and per-bit costs.
+	PayloadLen int
+	// FadeMargin derates every link, modeling multipath beyond the
+	// paper's cleared room. Zero for the paper's setting.
+	FadeMargin units.DB
+	// Retransmit, when true, derates goodput by the frame error rate
+	// (ARQ semantics: every corrupted frame is resent whole). The
+	// paper's §6.3 simulator counts link throughput at the operating
+	// BER without ARQ accounting, so ideal accounting is the default;
+	// the packet-level MAC and the ARQ ablation bench set this.
+	Retransmit bool
+}
+
+// NewModel returns the calibrated model of two Braidio boards in free
+// space (the paper's cleared 6 m × 6 m room).
+func NewModel() *Model {
+	oneWay := rf.NewLink()
+	oneWay.ExtraLoss = FrontEndLoss
+	rt := rf.NewBackscatterLink()
+	rt.ReflectionLoss = BackscatterReflectionLoss
+	rt.Reverse.ExtraLoss = FrontEndLoss
+	return &Model{OneWay: oneWay, RoundTrip: rt, PayloadLen: frame.DefaultPayload}
+}
+
+// ReceivedPower returns the signal power arriving at the data receiver in
+// the given mode at distance d.
+func (m *Model) ReceivedPower(mode Mode, d units.Meter) units.DBm {
+	var rx units.DBm
+	switch mode {
+	case ModeActive, ModePassive:
+		rx = m.OneWay.Received(CarrierPower, d)
+	case ModeBackscatter:
+		rx = m.RoundTrip.ReceivedMonostatic(CarrierPower, d)
+	default:
+		panic(fmt.Sprintf("phy: unknown mode %d", int(mode)))
+	}
+	return rx.Sub(m.FadeMargin)
+}
+
+// snrTargetDB returns the SNR (dB) a scheme needs to hit RangeBERTarget;
+// the effective noise floor of a mode/rate sits that far below its
+// sensitivity.
+func snrTargetDB(mode Mode, r units.BitRate) units.DB {
+	return units.DBFromRatio(modem.SNRForBER(SchemeAt(mode, r), RangeBERTarget))
+}
+
+// SNR returns the effective per-bit SNR (dB) for a mode/rate at distance
+// d: received power over the mode's calibrated effective noise floor.
+func (m *Model) SNR(mode Mode, r units.BitRate, d units.Meter) units.DB {
+	noise := Sensitivity(mode, r).Sub(snrTargetDB(mode, r))
+	return rf.SNR(m.ReceivedPower(mode, d), noise)
+}
+
+// BER returns the analytic bit error rate for a mode/rate at distance d.
+func (m *Model) BER(mode Mode, r units.BitRate, d units.Meter) float64 {
+	return modem.BERFromDB(SchemeAt(mode, r), m.SNR(mode, r, d))
+}
+
+// Available reports whether a mode supports at least its slowest bitrate
+// at distance d.
+func (m *Model) Available(mode Mode, d units.Meter) bool {
+	_, ok := m.BestRate(mode, d)
+	return ok
+}
+
+// BestRate returns the fastest bitrate whose BER at distance d meets
+// RangeBERTarget, and whether any does. The active link only runs at
+// 1 Mbps.
+func (m *Model) BestRate(mode Mode, d units.Meter) (units.BitRate, bool) {
+	if mode == ModeActive {
+		if m.BER(mode, units.Rate1M, d) <= RangeBERTarget {
+			return units.Rate1M, true
+		}
+		return 0, false
+	}
+	for _, r := range Rates {
+		if m.BER(mode, r, d) <= RangeBERTarget {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// Range returns the maximum distance at which a mode/rate meets
+// RangeBERTarget.
+func (m *Model) Range(mode Mode, r units.BitRate) units.Meter {
+	rx := func(d units.Meter) units.DBm { return m.ReceivedPower(mode, d) }
+	d, ok := rf.RangeForSensitivity(rx, Sensitivity(mode, r), 0.01, 10000)
+	if !ok {
+		return 0
+	}
+	return d
+}
+
+// Regime is an operating regime of Fig. 8.
+type Regime int
+
+// The regimes: A has all three links, B loses backscatter, C has only the
+// active link, and OutOfRange has nothing.
+const (
+	RegimeA Regime = iota
+	RegimeB
+	RegimeC
+	OutOfRange
+)
+
+// String implements fmt.Stringer.
+func (r Regime) String() string {
+	switch r {
+	case RegimeA:
+		return "A (all links)"
+	case RegimeB:
+		return "B (active+passive)"
+	case RegimeC:
+		return "C (active only)"
+	case OutOfRange:
+		return "out of range"
+	default:
+		return fmt.Sprintf("regime(%d)", int(r))
+	}
+}
+
+// Regime classifies the distance per Fig. 8.
+func (m *Model) Regime(d units.Meter) Regime {
+	switch {
+	case m.Available(ModeBackscatter, d):
+		return RegimeA
+	case m.Available(ModePassive, d):
+		return RegimeB
+	case m.Available(ModeActive, d):
+		return RegimeC
+	default:
+		return OutOfRange
+	}
+}
+
+// ModeLink characterizes one available mode at a distance: its best rate,
+// error rate, delivered goodput, and per-useful-bit energy costs at both
+// ends — the (T_i, R_i) of Eq. 1.
+type ModeLink struct {
+	Mode Mode
+	Rate units.BitRate
+	BER  float64
+	// Good is the delivered payload bitrate, including framing and
+	// protocol duty efficiency (and ARQ derating when the model has
+	// Retransmit set).
+	Good units.BitRate
+	// T and R are joules per delivered payload bit at the transmitter
+	// and receiver.
+	T, R units.JoulesPerBit
+}
+
+// goodput computes the delivered payload bitrate for a mode/rate/BER
+// under the model's loss accounting. Ideal accounting treats the link as
+// binary — full throughput below the range BER target, dead above it —
+// matching the paper's simulator; ARQ accounting derates continuously by
+// the frame error rate instead.
+func (m *Model) goodput(mode Mode, r units.BitRate, ber float64) units.BitRate {
+	g := float64(r) * frame.Efficiency(m.PayloadLen) * ProtocolEfficiency(mode)
+	if m.Retransmit {
+		g *= 1 - frame.FrameErrorRate(ber, m.PayloadLen)
+	} else if ber > RangeBERTarget {
+		return 0
+	}
+	return units.BitRate(g)
+}
+
+// costs computes per-useful-bit costs for a mode/rate/BER.
+func (m *Model) costs(mode Mode, r units.BitRate, ber float64) (tx, rx units.JoulesPerBit) {
+	good := m.goodput(mode, r, ber)
+	if good <= 0 {
+		return units.JoulesPerBit(math.Inf(1)), units.JoulesPerBit(math.Inf(1))
+	}
+	return units.PerBit(TXPower(mode, r), good), units.PerBit(RXPower(mode, r), good)
+}
+
+// Characterize returns the available modes at distance d with their best
+// rates and per-bit costs, in canonical mode order. Unavailable modes are
+// omitted.
+func (m *Model) Characterize(d units.Meter) []ModeLink {
+	var out []ModeLink
+	for _, mode := range Modes {
+		r, ok := m.BestRate(mode, d)
+		if !ok {
+			continue
+		}
+		ber := m.BER(mode, r, d)
+		t, rx := m.costs(mode, r, ber)
+		out = append(out, ModeLink{Mode: mode, Rate: r, BER: ber, Good: m.goodput(mode, r, ber), T: t, R: rx})
+	}
+	return out
+}
+
+// LinkAt characterizes one specific mode/rate at a distance regardless of
+// whether it meets the range target (used for BER sweeps).
+func (m *Model) LinkAt(mode Mode, r units.BitRate, d units.Meter) ModeLink {
+	ber := m.BER(mode, r, d)
+	t, rx := m.costs(mode, r, ber)
+	return ModeLink{Mode: mode, Rate: r, BER: ber, Good: m.goodput(mode, r, ber), T: t, R: rx}
+}
+
+// CommercialReaderBER returns the AS3993 baseline's BER at 100 kbps and
+// distance d, for the Fig. 12 comparison. The reader uses its own budget:
+// 17 dBm carrier, +2 dBi reader antennas, no SAW/switch penalty.
+func CommercialReaderBER(d units.Meter) float64 {
+	link := rf.BackscatterLink{
+		Forward:        rf.Link{Frequency: rf.DefaultFrequency, TXAntenna: rf.ReaderAntenna, RXAntenna: rf.ChipAntenna},
+		Reverse:        rf.Link{Frequency: rf.DefaultFrequency, TXAntenna: rf.ChipAntenna, RXAntenna: rf.ReaderAntenna},
+		ReflectionLoss: BackscatterReflectionLoss,
+	}
+	rx := link.ReceivedMonostatic(ReaderCarrierPower, d)
+	noise := ReaderSensitivity.Sub(units.DBFromRatio(modem.SNRForBER(modem.OOKNonCoherent, RangeBERTarget)))
+	return modem.BERFromDB(modem.OOKNonCoherent, rf.SNR(rx, noise))
+}

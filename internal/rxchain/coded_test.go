@@ -1,0 +1,128 @@
+package rxchain
+
+import (
+	"bytes"
+	"testing"
+
+	"braidio/internal/linecode"
+	"braidio/internal/units"
+)
+
+// TestBaselineWanderKillsNRZ is the demonstration that motivates line
+// coding: under an aggressive high-pass cutoff (rate/4), a long run of
+// identical bits wanders the NRZ baseline through the comparator
+// threshold and decoding collapses, while FM0 — one transition per bit —
+// sails through.
+func TestBaselineWanderKillsNRZ(t *testing.T) {
+	// 200 ones in the middle of random data: the worst case for a
+	// high-passed envelope link.
+	data := append([]byte{}, bytes.Repeat([]byte{1, 0}, 50)...)
+	data = append(data, bytes.Repeat([]byte{1}, 200)...)
+	data = append(data, bytes.Repeat([]byte{0, 1}, 50)...)
+
+	nrz := DefaultCodedConfig(units.Rate100k, 1)
+	nrz.Code = linecode.NRZ
+	resNRZ, err := RunCoded(nrz, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fm0 := DefaultCodedConfig(units.Rate100k, 1)
+	resFM0, err := RunCoded(fm0, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resNRZ.BER() < 0.1 {
+		t.Errorf("NRZ survived baseline wander: BER %v (expected collapse on the long run)", resNRZ.BER())
+	}
+	if resFM0.BER() > 0.01 {
+		t.Errorf("FM0 failed under wander: BER %v", resFM0.BER())
+	}
+}
+
+// TestManchesterAlsoSurvives: both balanced codes handle the hostile
+// cutoff on pathological data.
+func TestManchesterAlsoSurvives(t *testing.T) {
+	data := bytes.Repeat([]byte{0}, 400)
+	cfg := DefaultCodedConfig(units.Rate100k, 2)
+	cfg.Code = linecode.Manchester
+	res, err := RunCoded(cfg, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER() > 0.01 {
+		t.Errorf("Manchester BER on all-zeros = %v", res.BER())
+	}
+}
+
+// TestCodedRandomDataAllCodes: on balanced random data with a gentle
+// cutoff, all three codes decode cleanly — coding only matters for runs.
+func TestCodedRandomDataAllCodes(t *testing.T) {
+	for _, code := range []linecode.Code{linecode.NRZ, linecode.Manchester, linecode.FM0} {
+		cfg := DefaultCodedConfig(units.Rate100k, 3)
+		cfg.HighPass.Cutoff = units.Hertz(float64(cfg.Rate) / 30)
+		cfg.Code = code
+		res, err := RunCoded(cfg, nil, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BER() > 0.01 {
+			t.Errorf("%v: BER on random data = %v", code, res.BER())
+		}
+	}
+}
+
+// TestCodedSelfInterference: the coded chain still rejects the 50×
+// carrier leakage.
+func TestCodedSelfInterference(t *testing.T) {
+	cfg := DefaultCodedConfig(units.Rate100k, 4)
+	res, err := RunCoded(cfg, nil, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER() > 1e-3 {
+		t.Errorf("coded BER under self-interference = %v", res.BER())
+	}
+}
+
+func TestRunCodedValidation(t *testing.T) {
+	cfg := DefaultCodedConfig(units.Rate100k, 1)
+	if _, err := RunCoded(cfg, nil, 0); err == nil {
+		t.Error("no bits accepted")
+	}
+	bad := cfg
+	bad.SamplesPerBit = 1
+	if _, err := RunCoded(bad, nil, 10); err == nil {
+		t.Error("coarse sampling accepted")
+	}
+}
+
+func TestDecodeTolerant(t *testing.T) {
+	// FM0 tolerant decode ignores boundary violations but keeps the
+	// intra-pair data rule.
+	bits := []byte{1, 0, 1, 1, 0}
+	syms := linecode.Encode(linecode.FM0, bits)
+	got := decodeTolerant(linecode.FM0, syms)
+	if !bytes.Equal(got, bits) {
+		t.Errorf("tolerant FM0 = %v, want %v", got, bits)
+	}
+	// Manchester tolerant decode maps the first half-symbol.
+	msyms := linecode.Encode(linecode.Manchester, bits)
+	if got := decodeTolerant(linecode.Manchester, msyms); !bytes.Equal(got, bits) {
+		t.Errorf("tolerant Manchester = %v, want %v", got, bits)
+	}
+	if got := decodeTolerant(linecode.NRZ, []byte{1, 0}); !bytes.Equal(got, []byte{1, 0}) {
+		t.Errorf("tolerant NRZ = %v", got)
+	}
+}
+
+func BenchmarkRunCodedFM0(b *testing.B) {
+	cfg := DefaultCodedConfig(units.Rate100k, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCoded(cfg, nil, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

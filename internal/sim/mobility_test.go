@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"braidio/internal/rng"
+	"braidio/internal/units"
+)
+
+func TestStaticWalk(t *testing.T) {
+	w := StaticWalk(1.5)
+	if w.DistanceAt(0) != 1.5 || w.DistanceAt(1000) != 1.5 {
+		t.Error("static walk moved")
+	}
+}
+
+func TestLinearWalk(t *testing.T) {
+	w := LinearWalk{Start: 0.5, End: 4.5, Duration: 10}
+	cases := []struct {
+		t    units.Second
+		want units.Meter
+	}{{-1, 0.5}, {0, 0.5}, {5, 2.5}, {10, 4.5}, {100, 4.5}}
+	for _, c := range cases {
+		if got := w.DistanceAt(c.t); got != c.want {
+			t.Errorf("DistanceAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Zero duration jumps straight to End.
+	if got := (LinearWalk{Start: 1, End: 2}).DistanceAt(0); got != 2 {
+		t.Errorf("zero-duration walk at t=0 = %v, want 2", got)
+	}
+}
+
+func TestRandomWaypointBounds(t *testing.T) {
+	w := NewRandomWaypoint(0.3, 5, 1.4, 2, rng.New(1))
+	for i := 0; i < 5000; i++ {
+		d := w.DistanceAt(units.Second(float64(i) * 0.5))
+		if d < 0.3-1e-9 || d > 5+1e-9 {
+			t.Fatalf("distance %v outside bounds at step %d", d, i)
+		}
+	}
+}
+
+func TestRandomWaypointContinuity(t *testing.T) {
+	w := NewRandomWaypoint(0.3, 5, 1.4, 1, rng.New(2))
+	prev := w.DistanceAt(0)
+	const dt = 0.05
+	for i := 1; i < 10000; i++ {
+		d := w.DistanceAt(units.Second(float64(i) * dt))
+		// Movement per step is bounded by speed·dt.
+		if diff := float64(d - prev); diff > 1.4*dt+1e-9 || diff < -1.4*dt-1e-9 {
+			t.Fatalf("teleport at step %d: %v → %v", i, prev, d)
+		}
+		prev = d
+	}
+}
+
+func TestRandomWaypointConsistentRevisit(t *testing.T) {
+	w := NewRandomWaypoint(0.3, 5, 1.4, 1, rng.New(3))
+	d1 := w.DistanceAt(100)
+	_ = w.DistanceAt(500)
+	if w.DistanceAt(100) != d1 {
+		t.Error("revisiting an earlier time changed the trace")
+	}
+}
+
+func TestRandomWaypointDeterministic(t *testing.T) {
+	a := NewRandomWaypoint(0.3, 5, 1.4, 1, rng.New(7))
+	b := NewRandomWaypoint(0.3, 5, 1.4, 1, rng.New(7))
+	for i := 0; i < 100; i++ {
+		tm := units.Second(float64(i) * 3.3)
+		if a.DistanceAt(tm) != b.DistanceAt(tm) {
+			t.Fatal("same-seed walks diverged")
+		}
+	}
+}
+
+func TestRandomWaypointValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad bounds": func() { NewRandomWaypoint(2, 1, 1, 0, rng.New(1)) },
+		"zero min":   func() { NewRandomWaypoint(0, 1, 1, 0, rng.New(1)) },
+		"zero speed": func() { NewRandomWaypoint(1, 2, 0, 0, rng.New(1)) },
+		"nil stream": func() { NewRandomWaypoint(1, 2, 1, 0, nil) },
+		"neg time":   func() { NewRandomWaypoint(1, 2, 1, 0, rng.New(1)).DistanceAt(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+
+	"braidio/internal/rng"
+	"braidio/internal/units"
+)
+
+// Arrival is one application-layer message to transmit.
+type Arrival struct {
+	// Time the message becomes available.
+	Time units.Second
+	// Bytes of payload.
+	Bytes int
+}
+
+// Traffic generates arrivals. Implementations must be deterministic
+// given their seed.
+type Traffic interface {
+	// Next returns the next arrival after time t.
+	Next(t units.Second) Arrival
+}
+
+// CBR is constant-bitrate traffic: fixed-size messages at a fixed
+// period — the continuous transfer of Scenario 1, or a sensor stream.
+type CBR struct {
+	// Period between messages.
+	Period units.Second
+	// Bytes per message.
+	Bytes int
+}
+
+// NewCBR validates and returns a CBR source.
+func NewCBR(period units.Second, bytes int) CBR {
+	if period <= 0 || bytes <= 0 {
+		panic(fmt.Sprintf("sim: invalid CBR period=%v bytes=%d", float64(period), bytes))
+	}
+	return CBR{Period: period, Bytes: bytes}
+}
+
+// Next implements Traffic.
+func (c CBR) Next(t units.Second) Arrival {
+	return Arrival{Time: t + c.Period, Bytes: c.Bytes}
+}
+
+// VideoStream models the Pivothead-style camera of the introduction: a
+// frame every 1/fps seconds of the given size — CBR with video-flavored
+// construction.
+func VideoStream(fps float64, frameBytes int) CBR {
+	if fps <= 0 {
+		panic("sim: non-positive fps")
+	}
+	return NewCBR(units.Second(1/fps), frameBytes)
+}
+
+// Bursty is exponential (Poisson) inter-arrival traffic with fixed-size
+// messages — notification-style workloads.
+type Bursty struct {
+	// MeanInterval between messages.
+	MeanInterval units.Second
+	// Bytes per message.
+	Bytes int
+
+	stream *rng.Stream
+}
+
+// NewBursty returns a Poisson source drawing jitter from the stream.
+func NewBursty(mean units.Second, bytes int, stream *rng.Stream) *Bursty {
+	if mean <= 0 || bytes <= 0 {
+		panic(fmt.Sprintf("sim: invalid bursty mean=%v bytes=%d", float64(mean), bytes))
+	}
+	if stream == nil {
+		panic("sim: nil stream")
+	}
+	return &Bursty{MeanInterval: mean, Bytes: bytes, stream: stream}
+}
+
+// Next implements Traffic.
+func (b *Bursty) Next(t units.Second) Arrival {
+	return Arrival{
+		Time:  t + units.Second(b.stream.Exp(float64(b.MeanInterval))),
+		Bytes: b.Bytes,
+	}
+}
+
+// OfferedLoad returns a source's average offered load in bits per
+// second.
+func OfferedLoad(tr Traffic) units.BitRate {
+	switch s := tr.(type) {
+	case CBR:
+		return units.BitRate(float64(8*s.Bytes) / float64(s.Period))
+	case *Bursty:
+		return units.BitRate(float64(8*s.Bytes) / float64(s.MeanInterval))
+	default:
+		panic(fmt.Sprintf("sim: unknown traffic type %T", tr))
+	}
+}

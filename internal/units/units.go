@@ -1,0 +1,196 @@
+// Package units provides the physical-unit helpers used throughout the
+// Braidio simulator: power in watts and dBm, dimensionless dB ratios,
+// energy in joules and watt-hours, and the frequency/wavelength relations
+// needed for link budgets.
+//
+// All quantities are represented by distinct named float64 types so that a
+// power level cannot be accidentally passed where an energy is expected.
+// Conversions are explicit and lossless (up to floating point).
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpeedOfLight is the propagation speed of radio waves in vacuum, in m/s.
+const SpeedOfLight = 299_792_458.0
+
+// Watt is a power level in watts.
+type Watt float64
+
+// Common power scales.
+const (
+	Milliwatt Watt = 1e-3
+	Microwatt Watt = 1e-6
+	Nanowatt  Watt = 1e-9
+)
+
+// DBm is a power level in decibels relative to one milliwatt.
+type DBm float64
+
+// DB is a dimensionless ratio expressed in decibels (gains, losses, SNR).
+type DB float64
+
+// Joule is an amount of energy in joules (watt-seconds).
+type Joule float64
+
+// WattHour is an amount of energy in watt-hours, the unit battery
+// capacities are quoted in (Fig. 1 of the paper).
+type WattHour float64
+
+// Hertz is a frequency in hertz.
+type Hertz float64
+
+// Common frequency scales.
+const (
+	Kilohertz Hertz = 1e3
+	Megahertz Hertz = 1e6
+	Gigahertz Hertz = 1e9
+)
+
+// Meter is a distance in meters.
+type Meter float64
+
+// Second is a duration in seconds. The simulator uses float seconds rather
+// than time.Duration because event times routinely involve sub-nanosecond
+// fractions of a bit at megabit rates and joule integration over hours.
+type Second float64
+
+// BitRate is a link speed in bits per second.
+type BitRate float64
+
+// Common bit rates used by Braidio's three calibrated operating points.
+const (
+	Rate10k  BitRate = 10_000
+	Rate100k BitRate = 100_000
+	Rate1M   BitRate = 1_000_000
+)
+
+// DBm converts a power in watts to dBm. It panics if w is not positive,
+// since zero or negative power has no decibel representation; callers model
+// "radio off" by omitting the term from the budget instead.
+func (w Watt) DBm() DBm {
+	if w <= 0 {
+		panic(fmt.Sprintf("units: cannot express %v W in dBm", float64(w)))
+	}
+	return DBm(10 * math.Log10(float64(w)/1e-3))
+}
+
+// Watts converts a power in dBm to watts.
+func (d DBm) Watts() Watt {
+	return Watt(1e-3 * math.Pow(10, float64(d)/10))
+}
+
+// Milliwatts reports the power in milliwatts.
+func (w Watt) Milliwatts() float64 { return float64(w) / 1e-3 }
+
+// Microwatts reports the power in microwatts.
+func (w Watt) Microwatts() float64 { return float64(w) / 1e-6 }
+
+// Add returns the power level raised by a gain (or lowered by a negative
+// gain / loss) expressed in dB.
+func (d DBm) Add(g DB) DBm { return d + DBm(g) }
+
+// Sub returns the power level lowered by a loss expressed in dB.
+func (d DBm) Sub(l DB) DBm { return d - DBm(l) }
+
+// Ratio converts a dB value to a linear power ratio.
+func (g DB) Ratio() float64 { return math.Pow(10, float64(g)/10) }
+
+// DBFromRatio converts a linear power ratio to dB. It panics on
+// non-positive ratios.
+func DBFromRatio(r float64) DB {
+	if r <= 0 {
+		panic(fmt.Sprintf("units: cannot express ratio %v in dB", r))
+	}
+	return DB(10 * math.Log10(r))
+}
+
+// Joules converts watt-hours to joules.
+func (wh WattHour) Joules() Joule { return Joule(float64(wh) * 3600) }
+
+// WattHours converts joules to watt-hours.
+func (j Joule) WattHours() WattHour { return WattHour(float64(j) / 3600) }
+
+// Energy returns the energy drawn by a constant power over a duration.
+func Energy(p Watt, t Second) Joule { return Joule(float64(p) * float64(t)) }
+
+// Duration returns how long an energy budget lasts at a constant power
+// draw. It returns +Inf when p is zero and panics when p is negative.
+func Duration(e Joule, p Watt) Second {
+	if p < 0 {
+		panic(fmt.Sprintf("units: negative power %v", float64(p)))
+	}
+	if p == 0 {
+		return Second(math.Inf(1))
+	}
+	return Second(float64(e) / float64(p))
+}
+
+// Wavelength returns the free-space wavelength of a carrier frequency.
+func (f Hertz) Wavelength() Meter {
+	if f <= 0 {
+		panic(fmt.Sprintf("units: non-positive frequency %v", float64(f)))
+	}
+	return Meter(SpeedOfLight / float64(f))
+}
+
+// BitDuration returns the on-air time of a single bit at rate r.
+func (r BitRate) BitDuration() Second {
+	if r <= 0 {
+		panic(fmt.Sprintf("units: non-positive bit rate %v", float64(r)))
+	}
+	return Second(1 / float64(r))
+}
+
+// JoulesPerBit is the energy cost of moving one bit, the unit the carrier
+// offload algorithm of §4.2 reasons in (its reciprocal is bits/joule).
+type JoulesPerBit float64
+
+// PerBit returns the per-bit energy cost of running at power p while
+// sustaining bit rate r.
+func PerBit(p Watt, r BitRate) JoulesPerBit {
+	if r <= 0 {
+		panic(fmt.Sprintf("units: non-positive bit rate %v", float64(r)))
+	}
+	return JoulesPerBit(float64(p) / float64(r))
+}
+
+// BitsPerJoule reports the energy efficiency (the axes of Fig. 9).
+func (c JoulesPerBit) BitsPerJoule() float64 {
+	if c <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / float64(c)
+}
+
+// String formats the power with an SI prefix, e.g. "129 mW" or "16.5 µW".
+func (w Watt) String() string {
+	v := float64(w)
+	switch {
+	case v == 0:
+		return "0 W"
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.3g W", v)
+	case math.Abs(v) >= 1e-3:
+		return fmt.Sprintf("%.3g mW", v*1e3)
+	case math.Abs(v) >= 1e-6:
+		return fmt.Sprintf("%.3g µW", v*1e6)
+	default:
+		return fmt.Sprintf("%.3g nW", v*1e9)
+	}
+}
+
+// String formats the rate compactly, e.g. "100 kbps" or "1 Mbps".
+func (r BitRate) String() string {
+	v := float64(r)
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.4g Mbps", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.4g kbps", v/1e3)
+	default:
+		return fmt.Sprintf("%.4g bps", v)
+	}
+}

@@ -1,0 +1,189 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func closeTo(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDBmRoundTrip(t *testing.T) {
+	cases := []struct {
+		w   Watt
+		dbm DBm
+	}{
+		{1e-3, 0},
+		{1, 30},
+		{0.129, 21.106}, // Braidio backscatter reader
+		{16.5e-6, -17.825},
+		{0.640, 28.062}, // AS3993 reader
+	}
+	for _, c := range cases {
+		if got := c.w.DBm(); !closeTo(float64(got), float64(c.dbm), 1e-3) {
+			t.Errorf("(%v).DBm() = %v, want %v", c.w, got, c.dbm)
+		}
+		if got := c.dbm.Watts(); !closeTo(float64(got), float64(c.w), 1e-3) {
+			t.Errorf("(%v).Watts() = %v, want %v", c.dbm, got, c.w)
+		}
+	}
+}
+
+func TestDBmRoundTripProperty(t *testing.T) {
+	f := func(exp float64) bool {
+		// Constrain to a physically plausible power range: 1 pW .. 10 W.
+		d := DBm(math.Mod(math.Abs(exp), 100) - 90)
+		back := d.Watts().DBm()
+		return closeTo(float64(back), float64(d), 1e-9) ||
+			math.Abs(float64(back-d)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBmOfNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Watt(0).DBm() did not panic")
+		}
+	}()
+	Watt(0).DBm()
+}
+
+func TestDBRatio(t *testing.T) {
+	if got := DB(3.0103).Ratio(); !closeTo(got, 2, 1e-4) {
+		t.Errorf("3.01 dB ratio = %v, want 2", got)
+	}
+	if got := DBFromRatio(1000); !closeTo(float64(got), 30, 1e-9) {
+		t.Errorf("DBFromRatio(1000) = %v, want 30", got)
+	}
+}
+
+func TestDBRatioRoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		g := DB(math.Mod(math.Abs(x), 200) - 100)
+		return closeTo(float64(DBFromRatio(g.Ratio())), float64(g), 1e-9) ||
+			math.Abs(float64(DBFromRatio(g.Ratio())-g)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyConversions(t *testing.T) {
+	if got := WattHour(1).Joules(); got != 3600 {
+		t.Errorf("1 Wh = %v J, want 3600", got)
+	}
+	if got := Joule(7200).WattHours(); got != 2 {
+		t.Errorf("7200 J = %v Wh, want 2", got)
+	}
+	if got := Energy(0.1, 10); got != 1 {
+		t.Errorf("Energy(0.1 W, 10 s) = %v, want 1 J", got)
+	}
+	if got := Duration(10, 2); got != 5 {
+		t.Errorf("Duration(10 J, 2 W) = %v, want 5 s", got)
+	}
+	if got := Duration(10, 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("Duration at zero power = %v, want +Inf", got)
+	}
+}
+
+func TestEnergyDurationInverseProperty(t *testing.T) {
+	f := func(p, tm uint16) bool {
+		pw := Watt(float64(p)/100 + 1e-6)
+		ts := Second(float64(tm)/10 + 1e-6)
+		e := Energy(pw, ts)
+		return closeTo(float64(Duration(e, pw)), float64(ts), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWavelength(t *testing.T) {
+	// 915 MHz ISM band used by Braidio's UHF front end.
+	got := (915 * Megahertz).Wavelength()
+	if !closeTo(float64(got), 0.32764, 1e-3) {
+		t.Errorf("915 MHz wavelength = %v, want ~0.3276 m", got)
+	}
+}
+
+func TestPerBit(t *testing.T) {
+	// 129 mW at 1 Mbps = 129 nJ/bit = 7.75 Mbit/J.
+	c := PerBit(0.129, Rate1M)
+	if !closeTo(float64(c), 1.29e-7, 1e-9) {
+		t.Errorf("PerBit = %v, want 1.29e-7", c)
+	}
+	if !closeTo(c.BitsPerJoule(), 7.7519e6, 1e-3) {
+		t.Errorf("BitsPerJoule = %v, want ~7.75e6", c.BitsPerJoule())
+	}
+}
+
+func TestBitDuration(t *testing.T) {
+	if got := Rate10k.BitDuration(); got != 1e-4 {
+		t.Errorf("10 kbps bit duration = %v, want 1e-4 s", got)
+	}
+}
+
+func TestWattString(t *testing.T) {
+	cases := []struct {
+		w    Watt
+		want string
+	}{
+		{0.129, "129 mW"},
+		{16.5e-6, "16.5 µW"},
+		{2.5, "2.5 W"},
+		{3e-9, "3 nW"},
+		{0, "0 W"},
+	}
+	for _, c := range cases {
+		if got := c.w.String(); got != c.want {
+			t.Errorf("(%v W).String() = %q, want %q", float64(c.w), got, c.want)
+		}
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	for _, c := range []struct {
+		r    BitRate
+		want string
+	}{{Rate1M, "1 Mbps"}, {Rate100k, "100 kbps"}, {Rate10k, "10 kbps"}, {500, "500 bps"}} {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("(%v).String() = %q, want %q", float64(c.r), got, c.want)
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for name, f := range map[string]func(){
+		"DBFromRatio(0)":  func() { DBFromRatio(0) },
+		"DBFromRatio(-1)": func() { DBFromRatio(-1) },
+		"Wavelength(0)":   func() { Hertz(0).Wavelength() },
+		"BitDuration(0)":  func() { BitRate(0).BitDuration() },
+		"PerBit rate 0":   func() { PerBit(1, 0) },
+		"Duration p<0":    func() { Duration(1, -1) },
+		"DBm of negative": func() { Watt(-1).DBm() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStringContainsUnits(t *testing.T) {
+	if !strings.Contains(Watt(0.05).String(), "mW") {
+		t.Error("expected mW suffix for 50 mW")
+	}
+}
