@@ -13,8 +13,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# Default test gate: vet everything, run the full suite, then re-run the
+# concurrency-sensitive internal packages under the race detector.
+test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/...
 
 race:
 	$(GO) test -race ./...

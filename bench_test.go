@@ -14,6 +14,7 @@ import (
 
 	"braidio/internal/core"
 	"braidio/internal/experiments"
+	"braidio/internal/linkcache"
 	"braidio/internal/phy"
 )
 
@@ -106,6 +107,62 @@ func BenchmarkPairTransfer(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := NewPair(watch, phone, 0.5).Transfer(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGainMatrixBluetooth10 measures the full 10×10 Fig. 15 gain
+// matrix at 0.5 m with the scheduling-layer caches on (the default) —
+// the acceptance benchmark for the linkcache + allocation-memo +
+// block-costing work, which must beat the seed's per-row-goroutine,
+// map-heavy implementation by ≥ 3× while staying bit-identical.
+func BenchmarkGainMatrixBluetooth10(b *testing.B) {
+	devices := Devices()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := GainMatrix(0.5, devices)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Max() <= 0 {
+			b.Fatal("empty matrix")
+		}
+	}
+}
+
+// BenchmarkGainMatrixBluetooth10Uncached is the same matrix with the
+// link cache and allocation memo forced off — the contrast run that
+// isolates what the caches contribute beyond the cheaper window costing.
+func BenchmarkGainMatrixBluetooth10Uncached(b *testing.B) {
+	devices := Devices()
+	linkcache.SetEnabled(false)
+	core.DefaultDisableAllocationMemo = true
+	defer func() {
+		linkcache.SetEnabled(true)
+		core.DefaultDisableAllocationMemo = false
+	}()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := GainMatrix(0.5, devices)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Max() <= 0 {
+			b.Fatal("empty matrix")
+		}
+	}
+}
+
+// BenchmarkPairTransferTolerant measures a full braid run with a 1%
+// allocation re-solve tolerance — the explicit "periodically
+// re-computes" knob trading solver invocations for throughput precision.
+func BenchmarkPairTransferTolerant(b *testing.B) {
+	watch, _ := DeviceByName("Apple Watch")
+	phone, _ := DeviceByName("iPhone 6S")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPair(watch, phone, 0.5, WithAllocationTolerance(0.01)).Transfer(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -113,6 +113,9 @@ type Pair struct {
 	Distance Meter
 
 	model *Model
+	// braid holds the pair's braid configuration. Runs operate on a
+	// per-call copy so concurrent transfers on one Pair never share
+	// mutable engine state.
 	braid *core.Braid
 }
 
@@ -128,6 +131,24 @@ func WithModel(m *Model) Option {
 // WithoutSwitchOverhead disables Table 5 mode-switch energy accounting.
 func WithoutSwitchOverhead() Option {
 	return func(p *Pair) { p.braid.IncludeSwitchOverhead = false }
+}
+
+// WithAllocationTolerance sets the relative battery-ratio drift the braid
+// tolerates before re-solving the carrier-offload allocation — §4.2's
+// "periodically re-computes" made explicit. Zero (the default) re-solves
+// whenever the ratio moves at all, keeping results bit-identical to an
+// unmemoized run; a small positive value (e.g. 0.01) trades precision
+// for fewer solver invocations on long transfers.
+func WithAllocationTolerance(tol float64) Option {
+	return func(p *Pair) { p.braid.AllocationTolerance = tol }
+}
+
+// WithoutLinkCache bypasses the process-global PHY characterization memo
+// for this pair's braid. The cache is exact (keyed on the full model
+// value and distance), so this exists for benchmarking and debugging,
+// not correctness.
+func WithoutLinkCache() Option {
+	return func(p *Pair) { p.braid.DisableLinkCache = true }
 }
 
 // NewPair creates a transfer pair. The zero configuration uses the
@@ -159,25 +180,31 @@ func (p *Pair) Plan() (*Allocation, error) {
 }
 
 // Transfer streams data from TX to RX, both starting with full
-// batteries, until one dies. It returns the braid result.
+// batteries, until one dies. It returns the braid result. Transfers run
+// on a copy of the pair's braid configuration, so concurrent calls on
+// one Pair are safe.
 func (p *Pair) Transfer() (*Result, error) {
-	p.braid.MaxBits = 0
-	return p.braid.RunFresh(p.TX.Capacity, p.RX.Capacity)
+	br := *p.braid
+	br.MaxBits = 0
+	return br.RunFresh(p.TX.Capacity, p.RX.Capacity)
 }
 
 // TransferBits moves a bounded number of payload bits (or less, if a
-// battery dies first) between full batteries.
+// battery dies first) between full batteries. Safe to call concurrently
+// with other transfers on the same Pair.
 func (p *Pair) TransferBits(bits float64) (*Result, error) {
-	p.braid.MaxBits = bits
-	defer func() { p.braid.MaxBits = 0 }()
-	return p.braid.RunFresh(p.TX.Capacity, p.RX.Capacity)
+	br := *p.braid
+	br.MaxBits = bits
+	return br.RunFresh(p.TX.Capacity, p.RX.Capacity)
 }
 
 // Resume continues a transfer over existing (partially drained)
-// batteries, draining them further.
+// batteries, draining them further. Concurrent Resume calls must use
+// distinct batteries — the batteries themselves are mutated.
 func (p *Pair) Resume(txBatt, rxBatt *Battery) (*Result, error) {
-	p.braid.MaxBits = 0
-	return p.braid.Run(txBatt, rxBatt)
+	br := *p.braid
+	br.MaxBits = 0
+	return br.Run(txBatt, rxBatt)
 }
 
 // GainVsBluetooth runs the pair and reports the total-bits gain over the

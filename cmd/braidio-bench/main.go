@@ -18,12 +18,14 @@ import (
 	"strings"
 
 	"braidio/internal/experiments"
+	"braidio/internal/linkcache"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	exp := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 	csvDir := flag.String("csv", "", "also write CSV files to this directory")
+	stats := flag.Bool("stats", false, "print scheduling-layer cache statistics after the run")
 	flag.Parse()
 
 	if *list {
@@ -67,6 +69,16 @@ func main() {
 				failed++
 			}
 		}
+	}
+	if *stats {
+		s := linkcache.Snapshot()
+		total := s.Hits + s.Misses
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(s.Hits) / float64(total)
+		}
+		fmt.Printf("\n== PHY link cache ==\nhits: %d  misses: %d  (%.1f%% hit rate, %d resident entries)\n",
+			s.Hits, s.Misses, pct, s.Entries)
 	}
 	if failed > 0 {
 		os.Exit(1)

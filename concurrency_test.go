@@ -1,0 +1,95 @@
+package braidio
+
+// Concurrency tests for the public API: transfers on one Pair run on
+// per-call copies of the braid configuration, so concurrent use is safe
+// and deterministic. Run with -race (the Makefile's race target) to
+// verify.
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPairConcurrentTransfers(t *testing.T) {
+	watch, _ := DeviceByName("Apple Watch")
+	phone, _ := DeviceByName("iPhone 6S")
+	p := NewPair(watch, phone, 0.5)
+
+	const workers = 8
+	full := make([]*Result, workers)
+	bounded := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Interleave unbounded and bounded transfers: these race on
+			// the shared MaxBits field unless runs copy the config.
+			r1, err := p.Transfer()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r2, err := p.TransferBits(1e8)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			full[i], bounded[i] = r1, r2
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < workers; i++ {
+		if full[i] == nil || bounded[i] == nil {
+			t.Fatal("missing results")
+		}
+		if full[i].Bits != full[0].Bits {
+			t.Errorf("concurrent Transfer %d delivered %v bits, first %v", i, full[i].Bits, full[0].Bits)
+		}
+		if bounded[i].Bits != bounded[0].Bits {
+			t.Errorf("concurrent TransferBits %d delivered %v bits, first %v", i, bounded[i].Bits, bounded[0].Bits)
+		}
+	}
+	if bounded[0].Bits > 1e8*1.001 {
+		t.Errorf("TransferBits overshot its bound: %v bits", bounded[0].Bits)
+	}
+	if full[0].Bits <= bounded[0].Bits {
+		t.Errorf("unbounded transfer (%v bits) did not exceed the bounded one (%v)", full[0].Bits, bounded[0].Bits)
+	}
+}
+
+// TestPairConcurrentResume exercises Resume on distinct battery pairs
+// from many goroutines.
+func TestPairConcurrentResume(t *testing.T) {
+	watch, _ := DeviceByName("Apple Watch")
+	phone, _ := DeviceByName("iPhone 6S")
+	p := NewPair(watch, phone, 0.5)
+
+	const workers = 4
+	results := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tx := watch.NewBattery()
+			rx := phone.NewBattery()
+			r, err := p.Resume(tx, rx)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if results[i] == nil {
+			t.Fatal("missing result")
+		}
+		if results[i].Bits != results[0].Bits {
+			t.Errorf("concurrent Resume %d delivered %v bits, first %v", i, results[i].Bits, results[0].Bits)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"braidio/internal/energy"
 	"braidio/internal/frame"
+	"braidio/internal/linkcache"
 	"braidio/internal/phy"
 	"braidio/internal/units"
 )
@@ -40,7 +41,27 @@ type Braid struct {
 	// bits instead of waiting for a battery to die — used to interleave
 	// directions in bidirectional scenarios.
 	MaxBits float64
+	// AllocationTolerance is the relative battery-ratio (E1:E2) drift
+	// tolerated before the allocation is re-solved — the paper's
+	// "periodically re-computes" made explicit. At the default 0 the
+	// memoized allocation is reused only when the ratio is bit-identical
+	// (which preserves results exactly, since the optimizer's fractions
+	// depend on the budgets only through their ratio); any positive value
+	// trades precision for fewer solver runs.
+	AllocationTolerance float64
+	// DisableAllocationMemo forces a fresh optimizer solve every epoch,
+	// even when the ratio has not moved. The golden tests flip it to
+	// prove memoization changes no bits.
+	DisableAllocationMemo bool
+	// DisableLinkCache bypasses the shared linkcache and characterizes
+	// the PHY directly on every run.
+	DisableLinkCache bool
 }
+
+// DefaultDisableAllocationMemo seeds NewBraid's DisableAllocationMemo
+// field — golden tests and benchmarks flip it to compare memoized and
+// unmemoized runs across code paths that construct braids internally.
+var DefaultDisableAllocationMemo bool
 
 // NewBraid returns a Braid with the defaults used by the evaluation.
 func NewBraid(m *phy.Model, d units.Meter) *Braid {
@@ -50,6 +71,7 @@ func NewBraid(m *phy.Model, d units.Meter) *Braid {
 		ScheduleWindow:        128,
 		EpochFraction:         0.02,
 		IncludeSwitchOverhead: true,
+		DisableAllocationMemo: DefaultDisableAllocationMemo,
 	}
 }
 
@@ -69,6 +91,10 @@ type Result struct {
 	SwitchEnergy1, SwitchEnergy2 units.Joule
 	// Epochs counts allocation re-computations.
 	Epochs int
+	// LPSolves counts epochs whose allocation came from an actual
+	// optimizer solve; AllocReuses counts epochs served from the
+	// ratio-keyed memo instead. LPSolves+AllocReuses == Epochs.
+	LPSolves, AllocReuses int
 }
 
 // ModeFraction returns the fraction of bits carried by a mode.
@@ -82,6 +108,12 @@ func (r *Result) ModeFraction(m phy.Mode) float64 {
 // ErrOutOfRange reports that no mode works at the configured distance.
 var ErrOutOfRange = errors.New("core: no mode available at this distance")
 
+// ErrDegenerateAllocation reports an allocation whose scheduling window
+// drains no energy at one of the endpoints — a degenerate (typically
+// custom-Optimizer) allocation that would otherwise loop forever making
+// no progress before dying with an opaque convergence failure.
+var ErrDegenerateAllocation = errors.New("core: allocation drains no energy over a window")
+
 // Run drains the two batteries (b1 at the data transmitter, b2 at the
 // data receiver) until either is empty, returning the totals. The
 // batteries are mutated.
@@ -92,7 +124,12 @@ func (b *Braid) Run(b1, b2 *energy.Battery) (*Result, error) {
 	if b.ScheduleWindow < 1 || b.EpochFraction <= 0 || b.EpochFraction > 1 {
 		return nil, fmt.Errorf("core: invalid braid parameters window=%d epoch=%v", b.ScheduleWindow, b.EpochFraction)
 	}
-	links := b.Model.Characterize(b.Distance)
+	var links []phy.ModeLink
+	if b.DisableLinkCache {
+		links = b.Model.Characterize(b.Distance)
+	} else {
+		links = linkcache.Characterize(b.Model, b.Distance)
+	}
 	if len(links) == 0 {
 		return nil, ErrOutOfRange
 	}
@@ -100,29 +137,73 @@ func (b *Braid) Run(b1, b2 *energy.Battery) (*Result, error) {
 	if optimize == nil {
 		optimize = Optimize
 	}
+	// The memo assumes the optimizer's fractions depend on the budgets
+	// only through their ratio — true of Optimize (and OptimizeQoS /
+	// BestSingleMode). Arbitrary custom optimizers get memoized only when
+	// the caller opted into a tolerance.
+	memoOK := !b.DisableAllocationMemo && (b.Optimizer == nil || b.AllocationTolerance > 0)
 
 	payloadBits := float64(8 * b.Model.PayloadLen)
+	windowBits := payloadBits * float64(b.ScheduleWindow)
 	res := &Result{ModeBits: make(map[phy.Mode]float64)}
 	prevMode := phy.ModeActive // sessions start on the active radio (§4.2)
+
+	// Allocation memo: the last solved allocation and the battery ratio
+	// it was solved at.
+	var (
+		memoValid      bool
+		memoRatio      float64
+		memoLinks      []phy.ModeLink
+		memoP          []float64
+		memoTX, memoRX units.JoulesPerBit
+	)
+	// Mode-switch counting accumulates fractional windows in float64 and
+	// rounds once at the end; truncating per epoch (as this loop once
+	// did) systematically undercounts while SwitchEnergy1/2 still charge
+	// the full fractional cost.
+	var switchesF float64
+	// Scratch buffers reused across epochs.
+	var counts []int
+	var remainders []float64
 
 	const maxEpochs = 1_000_000
 	for !b1.Empty() && !b2.Empty() {
 		if res.Epochs >= maxEpochs {
 			return nil, errors.New("core: braid failed to converge")
 		}
-		alloc, err := optimize(links, b1.Remaining(), b2.Remaining())
-		if err != nil {
-			return nil, err
+		e1, e2 := b1.Remaining(), b2.Remaining()
+		ratio := float64(e1) / float64(e2)
+
+		var aLinks []phy.ModeLink
+		var p []float64
+		var projBits float64
+		if memoValid && ratioWithin(ratio, memoRatio, b.AllocationTolerance) {
+			aLinks, p = memoLinks, memoP
+			projBits = bitsFor(memoTX, memoRX, e1, e2)
+			res.AllocReuses++
+		} else {
+			alloc, err := optimize(links, e1, e2)
+			if err != nil {
+				return nil, err
+			}
+			aLinks, p, projBits = alloc.Links, alloc.P, alloc.Bits
+			res.LPSolves++
+			if memoOK && alloc.TX > 0 && alloc.RX > 0 {
+				memoValid = true
+				memoRatio = ratio
+				memoLinks, memoP = alloc.Links, alloc.P
+				memoTX, memoRX = alloc.TX, alloc.RX
+			}
 		}
-		if alloc.Bits <= 0 || math.IsNaN(alloc.Bits) {
+		if projBits <= 0 || math.IsNaN(projBits) {
 			break
 		}
 		res.Epochs++
 
 		// Target bits this epoch: a slice of the projected lifetime, at
 		// least one scheduling window so the loop always advances.
-		epochBits := alloc.Bits * b.EpochFraction
-		if min := payloadBits * float64(b.ScheduleWindow); epochBits < min {
+		epochBits := projBits * b.EpochFraction
+		if min := windowBits; epochBits < min {
 			epochBits = min
 		}
 		if b.MaxBits > 0 {
@@ -134,46 +215,88 @@ func (b *Braid) Run(b1, b2 *energy.Battery) (*Result, error) {
 				epochBits = left
 			}
 		}
-
-		// Expand one scheduling window to cost the braiding precisely.
-		var seq []phy.Mode
-		if b.Interleave {
-			seq = Schedule(alloc.Links, alloc.P, b.ScheduleWindow)
-		} else {
-			seq = ScheduleBlocks(alloc.Links, alloc.P, b.ScheduleWindow)
-		}
-		windowBits := payloadBits * float64(b.ScheduleWindow)
 		windows := epochBits / windowBits
 
-		// Per-window energies: data plus (optionally) switch overheads.
-		var winTX, winRX, winTime float64
-		counts := make(map[phy.Mode]int, len(alloc.Links))
-		for _, m := range seq {
-			counts[m]++
+		if cap(counts) < len(aLinks) {
+			counts = make([]int, len(aLinks))
+			remainders = make([]float64, len(aLinks))
 		}
-		for _, l := range alloc.Links {
-			n := float64(counts[l.Mode])
-			if n == 0 {
-				continue
+		counts = counts[:len(aLinks)]
+		remainders = remainders[:len(aLinks)]
+
+		// Price one scheduling window: data plus (optionally) switch
+		// overheads. The default block schedule never needs the sequence
+		// materialized — counts, transitions, and switch costs all follow
+		// from the per-mode frame counts and the canonical block order.
+		var winTX, winRX, winTime, swTX, swRX float64
+		transitions := 0
+		endMode := prevMode
+		if b.Interleave {
+			seq := Schedule(aLinks, p, b.ScheduleWindow)
+			for i := range counts {
+				counts[i] = 0
 			}
-			winTX += n * payloadBits * float64(l.T)
-			winRX += n * payloadBits * float64(l.R)
-			winTime += n * payloadBits / float64(l.Good)
-		}
-		transitions := Transitions(seq, prevMode)
-		var swTX, swRX float64
-		if b.IncludeSwitchOverhead {
-			rates := make(map[phy.Mode]units.BitRate, len(alloc.Links))
-			for _, l := range alloc.Links {
-				rates[l.Mode] = l.Rate
+			for _, mode := range seq {
+				for i := range aLinks {
+					if aLinks[i].Mode == mode {
+						counts[i]++
+						break
+					}
+				}
 			}
-			swTX, swRX = SwitchEnergyOf(seq, prevMode, rates)
+			for i, l := range aLinks {
+				if counts[i] == 0 {
+					continue
+				}
+				n := float64(counts[i])
+				winTX += n * payloadBits * float64(l.T)
+				winRX += n * payloadBits * float64(l.R)
+				winTime += n * payloadBits / float64(l.Good)
+			}
+			transitions = Transitions(seq, prevMode)
+			if b.IncludeSwitchOverhead {
+				rates := make(map[phy.Mode]units.BitRate, len(aLinks))
+				for _, l := range aLinks {
+					rates[l.Mode] = l.Rate
+				}
+				swTX, swRX = SwitchEnergyOf(seq, prevMode, rates)
+			}
+			endMode = seq[len(seq)-1]
+		} else {
+			blockCounts(p, b.ScheduleWindow, counts, remainders)
+			prev := prevMode
+			for i, l := range aLinks {
+				if counts[i] == 0 {
+					continue
+				}
+				n := float64(counts[i])
+				winTX += n * payloadBits * float64(l.T)
+				winRX += n * payloadBits * float64(l.R)
+				winTime += n * payloadBits / float64(l.Good)
+				if l.Mode != prev {
+					transitions++
+					if b.IncludeSwitchOverhead {
+						t, rcv := phy.SwitchCost(l.Mode, l.Rate)
+						swTX += float64(t)
+						swRX += float64(rcv)
+					}
+					prev = l.Mode
+				}
+			}
+			endMode = prev
 		}
 		winTX += swTX
 		winRX += swRX
 
+		// A window that drains neither endpoint would make maxWin below
+		// NaN/Inf and spin forever without progress; the negated
+		// comparisons also catch NaN costs.
+		if !(winTX > 0) || !(winRX > 0) {
+			return nil, fmt.Errorf("%w: window energies tx=%v rx=%v", ErrDegenerateAllocation, winTX, winRX)
+		}
+
 		// How many whole windows fit in both remaining budgets?
-		maxWin := math.Min(float64(b1.Remaining())/winTX, float64(b2.Remaining())/winRX)
+		maxWin := math.Min(float64(e1)/winTX, float64(e2)/winRX)
 		partial := false
 		if windows > maxWin {
 			windows = maxWin
@@ -189,18 +312,29 @@ func (b *Braid) Run(b1, b2 *energy.Battery) (*Result, error) {
 		res.Drain2 += units.Joule(windows * winRX)
 		res.Bits += windows * windowBits
 		res.Duration += units.Second(windows * winTime)
-		res.Switches += int(windows * float64(transitions))
+		switchesF += windows * float64(transitions)
 		res.SwitchEnergy1 += units.Joule(windows * swTX)
 		res.SwitchEnergy2 += units.Joule(windows * swRX)
-		for _, l := range alloc.Links {
-			res.ModeBits[l.Mode] += windows * payloadBits * float64(counts[l.Mode])
+		for i, l := range aLinks {
+			res.ModeBits[l.Mode] += windows * payloadBits * float64(counts[i])
 		}
-		prevMode = seq[len(seq)-1]
+		prevMode = endMode
 		if partial {
 			break // one side is exhausted to within a rounding sliver
 		}
 	}
+	res.Switches = int(math.Round(switchesF))
 	return res, nil
+}
+
+// ratioWithin reports whether the current battery ratio is close enough
+// to the memoized one to reuse its allocation. A non-positive tolerance
+// demands bit-identical ratios.
+func ratioWithin(ratio, memo, tol float64) bool {
+	if tol <= 0 {
+		return ratio == memo
+	}
+	return math.Abs(ratio-memo) <= tol*memo
 }
 
 // RunFresh creates full batteries of the given capacities and runs the

@@ -54,7 +54,22 @@ func ScheduleBlocks(links []phy.ModeLink, p []float64, window int) []phy.Mode {
 		panic("core: schedule window must be ≥ 1")
 	}
 	counts := make([]int, len(links))
-	remainders := make([]float64, len(links))
+	blockCounts(p, window, counts, make([]float64, len(links)))
+	seq := make([]phy.Mode, 0, window)
+	for i, l := range links {
+		for k := 0; k < counts[i]; k++ {
+			seq = append(seq, l.Mode)
+		}
+	}
+	return seq
+}
+
+// blockCounts fills counts with the largest-remainder frame counts
+// ScheduleBlocks realizes for the given fractions — the braid engine
+// prices block windows from these counts directly, without materializing
+// the sequence, so the rounding must live in exactly one place. counts
+// and remainders are caller-provided scratch of len(p).
+func blockCounts(p []float64, window int, counts []int, remainders []float64) {
 	total := 0
 	for i, pi := range p {
 		exact := pi * float64(window)
@@ -73,13 +88,6 @@ func ScheduleBlocks(links []phy.ModeLink, p []float64, window int) []phy.Mode {
 		remainders[best] = -1
 		total++
 	}
-	seq := make([]phy.Mode, 0, window)
-	for i, l := range links {
-		for k := 0; k < counts[i]; k++ {
-			seq = append(seq, l.Mode)
-		}
-	}
-	return seq
 }
 
 // Scheduler is a persistent even-spread scheduler: unlike Schedule, its

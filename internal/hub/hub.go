@@ -18,6 +18,7 @@ import (
 
 	"braidio/internal/core"
 	"braidio/internal/energy"
+	"braidio/internal/linkcache"
 	"braidio/internal/phy"
 	"braidio/internal/units"
 )
@@ -61,7 +62,7 @@ func (h *Hub) Add(m Member) error {
 	if m.Load <= 0 {
 		return fmt.Errorf("hub: member %s has non-positive load", m.Device.Name)
 	}
-	if len(h.model.Characterize(m.Distance)) == 0 {
+	if len(linkcache.Characterize(h.model, m.Distance)) == 0 {
 		return fmt.Errorf("hub: member %s at %v m is out of range", m.Device.Name, float64(m.Distance))
 	}
 	h.members = append(h.members, m)
@@ -95,6 +96,10 @@ type Result struct {
 	HubExhausted bool
 	// Members holds per-member outcomes in registration order.
 	Members []MemberResult
+	// LPSolves and AllocReuses aggregate the braid engine's offload
+	// solver counters across every member run: how many allocations were
+	// actually solved versus served from the ratio-keyed memo.
+	LPSolves, AllocReuses int
 }
 
 // TotalBits sums delivered bits across members.
@@ -156,6 +161,8 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 				return nil, fmt.Errorf("hub: member %s: %w", m.Device.Name, err)
 			}
 			mr.Bits += run.Bits
+			res.LPSolves += run.LPSolves
+			res.AllocReuses += run.AllocReuses
 			mr.MemberDrain += run.Drain1
 			mr.HubDrain += run.Drain2
 			res.HubDrain += run.Drain2

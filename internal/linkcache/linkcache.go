@@ -1,0 +1,171 @@
+// Package linkcache memoizes the deterministic PHY computations the
+// scheduling layer re-runs constantly: link characterization
+// (phy.Model.Characterize), per-mode SNR, and per-mode BER at a given
+// distance. A phy.Model is a plain value struct that is immutable after
+// calibration, so every one of these is a pure function of (model,
+// distance[, mode, rate]) — the Fig. 15–17 gain matrices, the hub
+// scheduler, and the bidirectional scenarios otherwise recompute
+// identical answers thousands of times per run.
+//
+// Keys embed the model *by value*: mutating a model (fade margin, ARQ
+// accounting, payload length) simply keys a different entry, so stale
+// reads are impossible. Cached slices are shared between callers and
+// must be treated as read-only.
+//
+// The cache is process-global and safe for concurrent use. SetEnabled
+// turns it off globally (the golden tests prove results are bit-identical
+// either way); core.Braid additionally has a per-braid bypass.
+package linkcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+// maxEntries bounds each memo table. Steady workloads (fixed scenario
+// distances) stay far below it; continuous-mobility workloads would
+// otherwise grow without bound, so a full table is flushed and rebuilt.
+const maxEntries = 4096
+
+// linkKey identifies one Characterize result.
+type linkKey struct {
+	model phy.Model
+	d     units.Meter
+}
+
+// pointKey identifies one SNR or BER evaluation.
+type pointKey struct {
+	model phy.Model
+	mode  phy.Mode
+	rate  units.BitRate
+	d     units.Meter
+}
+
+var (
+	disabled atomic.Bool
+
+	mu    sync.RWMutex
+	links = map[linkKey][]phy.ModeLink{}
+	snrs  = map[pointKey]units.DB{}
+	bers  = map[pointKey]float64{}
+
+	hits, misses atomic.Uint64
+)
+
+// Enabled reports whether the global cache is active.
+func Enabled() bool { return !disabled.Load() }
+
+// SetEnabled turns the global cache on or off. Disabling does not flush
+// existing entries; re-enabling resumes serving them.
+func SetEnabled(on bool) { disabled.Store(!on) }
+
+// Characterize returns m.Characterize(d), memoized. The returned slice is
+// shared across callers and must not be mutated.
+func Characterize(m *phy.Model, d units.Meter) []phy.ModeLink {
+	if disabled.Load() {
+		return m.Characterize(d)
+	}
+	k := linkKey{model: *m, d: d}
+	mu.RLock()
+	ls, ok := links[k]
+	mu.RUnlock()
+	if ok {
+		hits.Add(1)
+		return ls
+	}
+	misses.Add(1)
+	ls = m.Characterize(d)
+	mu.Lock()
+	if len(links) >= maxEntries {
+		clear(links)
+	}
+	links[k] = ls
+	mu.Unlock()
+	return ls
+}
+
+// SNR returns m.SNR(mode, r, d), memoized — the MAC calls this once per
+// frame to synthesize its noisy channel observations.
+func SNR(m *phy.Model, mode phy.Mode, r units.BitRate, d units.Meter) units.DB {
+	if disabled.Load() {
+		return m.SNR(mode, r, d)
+	}
+	k := pointKey{model: *m, mode: mode, rate: r, d: d}
+	mu.RLock()
+	v, ok := snrs[k]
+	mu.RUnlock()
+	if ok {
+		hits.Add(1)
+		return v
+	}
+	misses.Add(1)
+	v = m.SNR(mode, r, d)
+	mu.Lock()
+	if len(snrs) >= maxEntries {
+		clear(snrs)
+	}
+	snrs[k] = v
+	mu.Unlock()
+	return v
+}
+
+// BER returns m.BER(mode, r, d), memoized — the MAC's per-frame loss
+// model.
+func BER(m *phy.Model, mode phy.Mode, r units.BitRate, d units.Meter) float64 {
+	if disabled.Load() {
+		return m.BER(mode, r, d)
+	}
+	k := pointKey{model: *m, mode: mode, rate: r, d: d}
+	mu.RLock()
+	v, ok := bers[k]
+	mu.RUnlock()
+	if ok {
+		hits.Add(1)
+		return v
+	}
+	misses.Add(1)
+	v = m.BER(mode, r, d)
+	mu.Lock()
+	if len(bers) >= maxEntries {
+		clear(bers)
+	}
+	bers[k] = v
+	mu.Unlock()
+	return v
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits and Misses count lookups served from / added to the memo
+	// since the last ResetStats.
+	Hits, Misses uint64
+	// Entries is the current resident entry count across all tables.
+	Entries int
+}
+
+// Snapshot returns the current cache counters.
+func Snapshot() Stats {
+	mu.RLock()
+	n := len(links) + len(snrs) + len(bers)
+	mu.RUnlock()
+	return Stats{Hits: hits.Load(), Misses: misses.Load(), Entries: n}
+}
+
+// ResetStats zeroes the hit/miss counters (entries stay resident).
+func ResetStats() {
+	hits.Store(0)
+	misses.Store(0)
+}
+
+// Flush drops every cached entry — benchmarks use it to measure cold
+// paths.
+func Flush() {
+	mu.Lock()
+	clear(links)
+	clear(snrs)
+	clear(bers)
+	mu.Unlock()
+}

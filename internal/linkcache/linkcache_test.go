@@ -1,0 +1,130 @@
+package linkcache
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+// resetAll restores a pristine cache between tests (the cache is
+// process-global).
+func resetAll() {
+	Flush()
+	ResetStats()
+	SetEnabled(true)
+}
+
+func TestCharacterizeMatchesDirect(t *testing.T) {
+	resetAll()
+	m := phy.NewModel()
+	for _, d := range []units.Meter{0.1, 0.5, 3, 10} {
+		direct := m.Characterize(d)
+		cached := Characterize(m, d)
+		if !reflect.DeepEqual(direct, cached) {
+			t.Errorf("d=%v: cached links differ from direct characterization", float64(d))
+		}
+		again := Characterize(m, d)
+		if !reflect.DeepEqual(direct, again) {
+			t.Errorf("d=%v: second lookup differs", float64(d))
+		}
+	}
+	s := Snapshot()
+	if s.Misses != 4 || s.Hits != 4 {
+		t.Errorf("stats = %d hits / %d misses, want 4/4", s.Hits, s.Misses)
+	}
+}
+
+// TestModelValueKeying: mutating a model keys a different entry, so the
+// cache can never serve stale links.
+func TestModelValueKeying(t *testing.T) {
+	resetAll()
+	m := phy.NewModel()
+	plain := Characterize(m, 0.5)
+	m.FadeMargin = 20
+	faded := Characterize(m, 0.5)
+	if reflect.DeepEqual(plain, faded) {
+		t.Fatal("fade-margin model served the free-space entry")
+	}
+	if !reflect.DeepEqual(faded, m.Characterize(0.5)) {
+		t.Fatal("faded entry differs from direct characterization")
+	}
+}
+
+func TestSNRAndBERMatchDirect(t *testing.T) {
+	resetAll()
+	m := phy.NewModel()
+	for _, mode := range phy.Modes {
+		for _, r := range phy.Rates {
+			for _, d := range []units.Meter{0.2, 1.5} {
+				if got, want := SNR(m, mode, r, d), m.SNR(mode, r, d); got != want {
+					t.Errorf("SNR(%v,%v,%v) = %v, want %v", mode, r, float64(d), got, want)
+				}
+				if got, want := BER(m, mode, r, d), m.BER(mode, r, d); got != want {
+					t.Errorf("BER(%v,%v,%v) = %v, want %v", mode, r, float64(d), got, want)
+				}
+				// Second lookups must serve the memo with identical bits.
+				if got, want := SNR(m, mode, r, d), m.SNR(mode, r, d); got != want {
+					t.Errorf("memoized SNR differs: %v vs %v", got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDisabledBypassesCache(t *testing.T) {
+	resetAll()
+	SetEnabled(false)
+	defer SetEnabled(true)
+	m := phy.NewModel()
+	if !reflect.DeepEqual(Characterize(m, 0.5), m.Characterize(0.5)) {
+		t.Fatal("disabled cache returned wrong links")
+	}
+	if s := Snapshot(); s.Hits != 0 || s.Misses != 0 || s.Entries != 0 {
+		t.Errorf("disabled cache touched state: %+v", s)
+	}
+	if Enabled() {
+		t.Error("Enabled() = true after SetEnabled(false)")
+	}
+}
+
+// TestEvictionBounded: the tables flush rather than grow without bound
+// under continuous-mobility key churn.
+func TestEvictionBounded(t *testing.T) {
+	resetAll()
+	m := phy.NewModel()
+	for i := 0; i < maxEntries+100; i++ {
+		Characterize(m, units.Meter(0.1+float64(i)*1e-4))
+	}
+	if s := Snapshot(); s.Entries > maxEntries {
+		t.Errorf("%d resident entries, cap is %d", s.Entries, maxEntries)
+	}
+}
+
+// TestConcurrentAccess hammers all three memo tables from many
+// goroutines; run under -race this is the cache's data-race test.
+func TestConcurrentAccess(t *testing.T) {
+	resetAll()
+	m := phy.NewModel()
+	want := m.Characterize(0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d := units.Meter(0.1 + float64((g+i)%7)*0.3)
+				Characterize(m, d)
+				SNR(m, phy.ModePassive, units.Rate100k, d)
+				BER(m, phy.ModeBackscatter, units.Rate10k, d)
+			}
+			if got := Characterize(m, 0.5); !reflect.DeepEqual(got, want) {
+				panic(fmt.Sprintf("goroutine %d saw wrong links", g))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -23,6 +23,7 @@ import (
 	"braidio/internal/core"
 	"braidio/internal/energy"
 	"braidio/internal/frame"
+	"braidio/internal/linkcache"
 	"braidio/internal/modem"
 	"braidio/internal/phy"
 	"braidio/internal/rng"
@@ -197,11 +198,12 @@ func refRate(m phy.Mode) units.BitRate {
 }
 
 // measureSNR returns a noisy per-frame SNR observation for a mode at its
-// reference rate. The true channel provides the mean; the session only
-// ever acts on the noisy estimate.
+// reference rate. The true channel provides the mean (memoized per
+// distance — this runs once per frame); the session only ever acts on
+// the noisy estimate.
 func (s *Session) measureSNR(m phy.Mode) (units.DB, units.BitRate) {
 	r := refRate(m)
-	snr := float64(s.cfg.Model.SNR(m, r, s.cfg.Distance))
+	snr := float64(linkcache.SNR(s.cfg.Model, m, r, s.cfg.Distance))
 	return units.DB(snr + s.rng.Norm()*s.cfg.SNRNoise), r
 }
 
@@ -359,7 +361,7 @@ func (s *Session) SendFrame(payloadLen int) (bool, error) {
 	}
 	s.switchTo(mode, rate)
 
-	ber := s.cfg.Model.BER(mode, rate, s.cfg.Distance)
+	ber := linkcache.BER(s.cfg.Model, mode, rate, s.cfg.Distance)
 	fer := frame.FrameErrorRate(ber, payloadLen)
 	wire := float64(frame.WireBits(payloadLen))
 

@@ -1,12 +1,16 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"braidio/internal/baseline"
 	"braidio/internal/core"
 	"braidio/internal/energy"
+	"braidio/internal/linkcache"
 	"braidio/internal/phy"
 	"braidio/internal/stats"
 	"braidio/internal/units"
@@ -52,7 +56,7 @@ func RunPair(m *phy.Model, d units.Meter, tx, rx energy.Device) (*PairResult, er
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s→%s at %v m: %w", tx.Name, rx.Name, float64(d), err)
 	}
-	links := m.Characterize(d)
+	links := linkcache.Characterize(m, d)
 	single, err := core.BestSingleMode(links, tx.Capacity.Joules(), rx.Capacity.Joules())
 	if err != nil {
 		return nil, err
@@ -119,30 +123,64 @@ func (m *Matrix) Diagonal() []float64 {
 // with its own batteries and braid state).
 type gainFn func(tx, rx energy.Device) (float64, error)
 
+// buildMatrix computes every cell through a worker pool bounded by
+// GOMAXPROCS (one goroutine per row both oversubscribes small machines
+// and load-balances poorly — cell costs vary by orders of magnitude with
+// battery size). Dispatch stops at the first error; errors from cells
+// already in flight are aggregated with errors.Join.
 func buildMatrix(devices []energy.Device, f gainFn) (*Matrix, error) {
-	m := &Matrix{Devices: devices, Cells: make([][]float64, len(devices))}
-	var wg sync.WaitGroup
-	errs := make([]error, len(devices))
-	for row, rx := range devices {
-		m.Cells[row] = make([]float64, len(devices))
-		wg.Add(1)
-		go func(row int, rx energy.Device) {
-			defer wg.Done()
-			for col, tx := range devices {
-				g, err := f(tx, rx)
-				if err != nil {
-					errs[row] = err
-					return
-				}
-				m.Cells[row][col] = g
-			}
-		}(row, rx)
+	n := len(devices)
+	m := &Matrix{Devices: devices, Cells: make([][]float64, n)}
+	for row := range m.Cells {
+		m.Cells[row] = make([]float64, n)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n*n {
+		workers = n * n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type cell struct{ row, col int }
+	jobs := make(chan cell)
+	var (
+		wg     sync.WaitGroup
+		failed atomic.Bool
+		errMu  sync.Mutex
+		errs   []error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				g, err := f(devices[c.col], devices[c.row])
+				if err != nil {
+					failed.Store(true)
+					errMu.Lock()
+					errs = append(errs, err)
+					errMu.Unlock()
+					continue
+				}
+				m.Cells[c.row][c.col] = g
+			}
+		}()
+	}
+dispatch:
+	for row := 0; row < n; row++ {
+		for col := 0; col < n; col++ {
+			if failed.Load() {
+				break dispatch
+			}
+			jobs <- cell{row: row, col: col}
 		}
+	}
+	close(jobs)
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	return m, nil
 }
@@ -196,7 +234,7 @@ func RunBidirectional(m *phy.Model, d units.Meter, a, b energy.Device) (*Bidirec
 
 	// Chunk size: a small slice of the projected one-way lifetime so
 	// many role swaps happen before death.
-	links := m.Characterize(d)
+	links := linkcache.Characterize(m, d)
 	alloc, err := core.Optimize(links, ba.Remaining(), bb.Remaining())
 	if err != nil {
 		return nil, err
@@ -262,7 +300,7 @@ func DistanceSweep(m *phy.Model, tx, rx energy.Device, distances []units.Meter) 
 				continue
 			}
 			// RunPair wraps the error; detect by probing availability.
-			if len(m.Characterize(d)) == 0 {
+			if len(linkcache.Characterize(m, d)) == 0 {
 				continue
 			}
 			return nil, err
