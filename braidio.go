@@ -4,6 +4,7 @@ import (
 	"braidio/internal/baseline"
 	"braidio/internal/core"
 	"braidio/internal/energy"
+	"braidio/internal/faults"
 	"braidio/internal/hub"
 	"braidio/internal/mac"
 	"braidio/internal/phy"
@@ -104,6 +105,64 @@ func CustomDevice(name string, capacity WattHour) Device {
 // against.
 func BluetoothBaseline() Bluetooth { return baseline.Default }
 
+// Fault-injection types, aliased from internal/faults: deterministic,
+// seed-driven channel impairments that compose through FaultChain and
+// plug into packet-level sessions (WithSessionFaults) and hub members
+// (HubMember.Faults). With no injector configured every code path is
+// bit-identical to a fault-free build.
+type (
+	// FaultInjector is one composable channel impairment.
+	FaultInjector = faults.Injector
+	// FaultChain applies injectors in order.
+	FaultChain = faults.Chain
+	// FaultEnv is the per-frame-attempt channel context injectors
+	// transform.
+	FaultEnv = faults.Env
+	// GilbertElliott is the two-state Markov burst-loss channel.
+	GilbertElliott = faults.GilbertElliott
+	// Jammer is a periodic interference burst crushing SNR.
+	Jammer = faults.Jammer
+	// CarrierDropout is a periodic total carrier loss.
+	CarrierDropout = faults.Dropout
+	// Brownout is a periodic harvesting interruption scaling battery
+	// drain on one side.
+	Brownout = faults.Brownout
+	// SNRCorruptor biases/noises every SNR observation.
+	SNRCorruptor = faults.SNRCorruptor
+	// Walk is a mobility trace: separation over time.
+	Walk = sim.Walk
+	// StaticWalk is a constant separation.
+	StaticWalk = sim.StaticWalk
+	// LinearWalk moves between two separations over a duration.
+	LinearWalk = sim.LinearWalk
+)
+
+// NewGilbertElliott builds a deterministic burst-loss channel (see
+// faults.NewGilbertElliott).
+func NewGilbertElliott(pEnter, pExit, goodLoss, badLoss float64, seed uint64) *GilbertElliott {
+	return faults.NewGilbertElliott(pEnter, pExit, goodLoss, badLoss, seed)
+}
+
+// NewSNRCorruptor builds a deterministic SNR-estimate corruptor (see
+// faults.NewSNRCorruptor).
+func NewSNRCorruptor(bias, sigma float64, seed uint64) *SNRCorruptor {
+	return faults.NewSNRCorruptor(bias, sigma, seed)
+}
+
+// Typed resilience errors, re-exported so callers can errors.Is against
+// them without internal imports.
+var (
+	// ErrLinkDead reports a link that stayed down through the MAC's
+	// bounded recovery attempts.
+	ErrLinkDead = core.ErrLinkDead
+	// ErrMemberQuarantined reports a hub member removed from the
+	// round-robin after repeated failed rounds.
+	ErrMemberQuarantined = hub.ErrMemberQuarantined
+	// ErrSessionExhausted reports a SendFrame on a session whose
+	// battery already died.
+	ErrSessionExhausted = mac.ErrExhausted
+)
+
 // Pair is the high-level API: two devices at a distance, ready to
 // transfer data through the braided radio.
 type Pair struct {
@@ -117,6 +176,10 @@ type Pair struct {
 	// per-call copy so concurrent transfers on one Pair never share
 	// mutable engine state.
 	braid *core.Braid
+	// walk and sessionFaults configure packet-level sessions opened on
+	// this pair.
+	walk          mac.Walk
+	sessionFaults faults.Injector
 }
 
 // Option customizes a Pair.
@@ -141,6 +204,22 @@ func WithoutSwitchOverhead() Option {
 // for fewer solver invocations on long transfers.
 func WithAllocationTolerance(tol float64) Option {
 	return func(p *Pair) { p.braid.AllocationTolerance = tol }
+}
+
+// WithWalk drives packet-level sessions opened on this pair with a
+// mobility trace: the session re-reads the walk at probe/recompute
+// boundaries so BER and FER track live distance instead of the initial
+// separation.
+func WithWalk(w Walk) Option {
+	return func(p *Pair) { p.walk = w }
+}
+
+// WithSessionFaults injects a deterministic fault chain (burst loss,
+// jamming, dropouts, brownouts, estimator corruption) into packet-level
+// sessions opened on this pair. Injectors are stateful: use a fresh
+// chain per pair.
+func WithSessionFaults(inj FaultInjector) Option {
+	return func(p *Pair) { p.sessionFaults = inj }
 }
 
 // WithoutLinkCache bypasses the process-global PHY characterization memo
@@ -229,9 +308,12 @@ func (p *Pair) GainVsBestMode() (float64, error) {
 
 // NewSession opens a packet-level braided MAC session for the pair with
 // fresh batteries: frame-by-frame transfer with probing, loss,
-// retransmission, and fallback. The seed drives the stochastic channel.
+// retransmission, and fallback. The seed drives the stochastic channel;
+// WithWalk and WithSessionFaults options on the pair carry over.
 func (p *Pair) NewSession(seed uint64) (*Session, error) {
 	cfg := mac.DefaultConfig(p.model, p.Distance, seed)
+	cfg.Walk = p.walk
+	cfg.Faults = p.sessionFaults
 	return mac.NewSession(cfg, energy.NewBattery(p.TX.Capacity), energy.NewBattery(p.RX.Capacity))
 }
 
@@ -272,6 +354,9 @@ type (
 	HubMember = hub.Member
 	// HubResult is the outcome of a Hub run.
 	HubResult = hub.Result
+	// HubMemberResult is one member's share of a Hub run, including any
+	// quarantine verdict.
+	HubMemberResult = hub.MemberResult
 )
 
 // NewHub creates a star network centred on the given device using the
@@ -283,9 +368,12 @@ func NewHub(device Device) *Hub { return hub.New(device, nil) }
 type Duplex = mac.Duplex
 
 // NewDuplex opens a bidirectional packet-level session between the
-// pair's devices with fresh batteries.
+// pair's devices with fresh batteries. A WithWalk option carries over to
+// both directions; session faults do not (injectors are stateful and
+// cannot be shared between the two directions' sessions).
 func (p *Pair) NewDuplex(seed uint64) (*Duplex, error) {
 	cfg := mac.DefaultConfig(p.model, p.Distance, seed)
+	cfg.Walk = p.walk
 	return mac.NewDuplex(cfg, energy.NewBattery(p.TX.Capacity), energy.NewBattery(p.RX.Capacity))
 }
 

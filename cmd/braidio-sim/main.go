@@ -15,13 +15,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"braidio"
 	"braidio/internal/ascii"
 	"braidio/internal/energy"
+	"braidio/internal/faults"
 	"braidio/internal/mac"
 	"braidio/internal/phy"
 	"braidio/internal/sim"
+	"braidio/internal/units"
 )
 
 func main() {
@@ -34,6 +38,11 @@ func main() {
 	matrix := flag.Bool("matrix", false, "print the full device-pair gain matrix (Fig. 15) and exit")
 	tracePath := flag.String("trace", "", "run a packet-level session and write a per-frame CSV trace to this file")
 	traceFrames := flag.Int("frames", 2000, "frames to send in -trace mode")
+	faultSpec := flag.String("faults", "", "comma-separated fault injectors for -trace mode, e.g. "+
+		"'ge:0.02:0.2,jam:5:30:2:25,drop:10:60:3,brownout:20:60:5:3,snr:-2:1' "+
+		"(ge:pEnter:pExit[:badLoss] jam:start:period:dur[:crushdB] drop:start:period:dur "+
+		"brownout:start:period:dur[:scale] snr:bias[:sigma])")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for stochastic fault injectors")
 	list := flag.Bool("list", false, "list the device catalog and exit")
 	flag.Parse()
 
@@ -73,8 +82,15 @@ func main() {
 	fmt.Println()
 
 	if *tracePath != "" {
-		runTrace(tx, rx, d, *tracePath, *traceFrames)
+		chain, err := parseFaults(*faultSpec, *faultSeed)
+		if err != nil {
+			fail(err)
+		}
+		runTrace(tx, rx, d, *tracePath, *traceFrames, chain)
 		return
+	}
+	if *faultSpec != "" {
+		fail(fmt.Errorf("-faults only applies to packet-level -trace runs"))
 	}
 
 	if *bidir {
@@ -107,9 +123,10 @@ func main() {
 	fmt.Printf("gain vs best single mode: %.3g× (best: %v)\n", pr.GainVsBestMode(), pr.BestMode)
 }
 
-// runTrace drives a packet-level MAC session and writes its per-frame
-// CSV trace.
-func runTrace(tx, rx braidio.Device, d braidio.Meter, path string, frames int) {
+// runTrace drives a packet-level MAC session — optionally under an
+// injected fault chain — and writes its per-frame CSV trace plus the
+// session's resilience counters.
+func runTrace(tx, rx braidio.Device, d braidio.Meter, path string, frames int, chain faults.Chain) {
 	f, err := os.Create(path)
 	if err != nil {
 		fail(err)
@@ -117,18 +134,100 @@ func runTrace(tx, rx braidio.Device, d braidio.Meter, path string, frames int) {
 	defer f.Close()
 	cfg := mac.DefaultConfig(braidio.NewModel(), d, 1)
 	cfg.Trace = f
+	if len(chain) > 0 {
+		cfg.Faults = chain
+	}
 	s, err := mac.NewSession(cfg, energy.NewBattery(tx.Capacity), energy.NewBattery(rx.Capacity))
 	if err != nil {
 		fail(err)
 	}
+	var sessionErr error
 	for i := 0; i < frames && !s.Dead(); i++ {
 		if _, err := s.SendFrame(240); err != nil {
-			fail(err)
+			sessionErr = err
+			break
 		}
 	}
 	st := s.Stats()
 	fmt.Printf("traced %d frames to %s (%d switches, %d fallbacks, %d retransmissions)\n",
 		st.FramesDelivered, path, st.ModeSwitches, st.Fallbacks, st.Retransmissions)
+	fmt.Printf("resilience: %d outages survived, %d flaps suppressed, %d backoff waits, loss rate %.3g\n",
+		st.Outages, st.FallbacksSuppressed, st.BackoffWaits, s.LossRate())
+	if len(chain) > 0 {
+		for name, events := range chain.Counters() {
+			fmt.Printf("injector %-16s %d events\n", name, events)
+		}
+	}
+	if sessionErr != nil {
+		fmt.Printf("session ended early: %v\n", sessionErr)
+	}
+}
+
+// parseFaults builds a fault chain from the -faults flag syntax. Each
+// comma-separated element is kind:param:param…, with stochastic
+// injectors salted from the fault seed by position.
+func parseFaults(spec string, seed uint64) (faults.Chain, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var chain faults.Chain
+	for i, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		args := make([]float64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: bad number %q", part, f)
+			}
+			args = append(args, v)
+		}
+		// arg returns the i-th parameter or a default.
+		arg := func(n int, def float64) float64 {
+			if n < len(args) {
+				return args[n]
+			}
+			return def
+		}
+		salt := seed + uint64(i)*0x9e3779b9
+		switch fields[0] {
+		case "ge":
+			if len(args) < 2 {
+				return nil, fmt.Errorf("fault %q: need ge:pEnter:pExit[:badLoss]", part)
+			}
+			chain = append(chain, faults.NewGilbertElliott(args[0], args[1], 0, arg(2, 1), salt))
+		case "jam":
+			if len(args) < 3 {
+				return nil, fmt.Errorf("fault %q: need jam:start:period:dur[:crushdB]", part)
+			}
+			chain = append(chain, &faults.Jammer{
+				Start: units.Second(args[0]), Period: units.Second(args[1]),
+				Duration: units.Second(args[2]), SNRCrush: arg(3, 30), Loss: 1,
+			})
+		case "drop":
+			if len(args) < 3 {
+				return nil, fmt.Errorf("fault %q: need drop:start:period:dur", part)
+			}
+			chain = append(chain, &faults.Dropout{
+				Start: units.Second(args[0]), Period: units.Second(args[1]), Duration: units.Second(args[2]),
+			})
+		case "brownout":
+			if len(args) < 3 {
+				return nil, fmt.Errorf("fault %q: need brownout:start:period:dur[:scale]", part)
+			}
+			chain = append(chain, &faults.Brownout{
+				Start: units.Second(args[0]), Period: units.Second(args[1]),
+				Duration: units.Second(args[2]), Scale: arg(3, 3), Affected: faults.SideTX,
+			})
+		case "snr":
+			if len(args) < 1 {
+				return nil, fmt.Errorf("fault %q: need snr:bias[:sigma]", part)
+			}
+			chain = append(chain, faults.NewSNRCorruptor(args[0], arg(1, 0), salt))
+		default:
+			return nil, fmt.Errorf("unknown fault kind %q (ge, jam, drop, brownout, snr)", fields[0])
+		}
+	}
+	return chain, nil
 }
 
 // printMatrix renders the Fig. 15 gain heatmap at the given distance.

@@ -114,6 +114,14 @@ var ErrOutOfRange = errors.New("core: no mode available at this distance")
 // no progress before dying with an opaque convergence failure.
 var ErrDegenerateAllocation = errors.New("core: allocation drains no energy over a window")
 
+// ErrLinkDead reports that a link failed permanently after bounded
+// recovery attempts: §4.2's fallback safety net reverted to the active
+// mode, re-probed, and still could not restore service. Protocol layers
+// (the MAC session, the hub's member scheduler) wrap this error around
+// the final cause so callers can errors.Is both the verdict and the
+// reason.
+var ErrLinkDead = errors.New("core: link dead after bounded recovery attempts")
+
 // Run drains the two batteries (b1 at the data transmitter, b2 at the
 // data receiver) until either is empty, returning the totals. The
 // batteries are mutated.

@@ -1,0 +1,211 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+func attempt(inj Injector, t units.Second, fer float64) Env {
+	var env Env
+	env.Reset(t, phy.ModePassive, units.Rate100k, fer)
+	inj.Impair(&env)
+	return env
+}
+
+func TestEnvResetIsIdentity(t *testing.T) {
+	var env Env
+	env.Reset(3, phy.ModeActive, units.Rate1M, 0.25)
+	if env.FER != 0.25 || env.SNROffset != 0 || env.TXDrain != 1 || env.RXDrain != 1 || env.CarrierLost {
+		t.Errorf("reset env not identity: %+v", env)
+	}
+}
+
+func TestEmptyChainIsIdentity(t *testing.T) {
+	env := attempt(Chain{}, 1, 0.1)
+	if env.FER != 0.1 || env.SNROffset != 0 || env.TXDrain != 1 || env.RXDrain != 1 || env.CarrierLost {
+		t.Errorf("empty chain mutated env: %+v", env)
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	ge := NewGilbertElliott(0.05, 0.2, 0, 1, 7)
+	lost, runs, inBurst := 0, 0, false
+	const n = 20000
+	for i := 0; i < n; i++ {
+		env := attempt(ge, units.Second(i), 0)
+		if env.FER == 1 {
+			lost++
+			if !inBurst {
+				runs++
+			}
+			inBurst = true
+		} else {
+			inBurst = false
+		}
+	}
+	// Stationary bad-state probability = pEnter/(pEnter+pExit) = 0.2.
+	frac := float64(lost) / n
+	if frac < 0.12 || frac > 0.30 {
+		t.Errorf("bad-state fraction = %v, want ≈0.2", frac)
+	}
+	// Mean burst length = 1/pExit = 5 attempts — far from i.i.d.
+	meanBurst := float64(lost) / float64(runs)
+	if meanBurst < 3 || meanBurst > 8 {
+		t.Errorf("mean burst length = %v, want ≈5", meanBurst)
+	}
+	if ge.Events() != runs {
+		t.Errorf("Events() = %d, observed %d bursts", ge.Events(), runs)
+	}
+}
+
+func TestGilbertElliottDeterministic(t *testing.T) {
+	trace := func() []float64 {
+		ge := NewGilbertElliott(0.1, 0.3, 0.01, 0.9, 42)
+		out := make([]float64, 500)
+		for i := range out {
+			out[i] = attempt(ge, units.Second(i), 0.02).FER
+		}
+		return out
+	}
+	a, b := trace(), trace()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed channels diverged at attempt %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range probability accepted")
+		}
+	}()
+	NewGilbertElliott(1.5, 0, 0, 0, 1)
+}
+
+func TestJammerWindows(t *testing.T) {
+	j := &Jammer{Start: 10, Period: 100, Duration: 5, SNRCrush: 30, Loss: 1}
+	cases := []struct {
+		t    units.Second
+		want bool
+	}{
+		{0, false}, {9.9, false}, {10, true}, {14.9, true}, {15, false},
+		{109.9, false}, {110, true}, {114, true}, {115, false}, {210, true},
+	}
+	for _, c := range cases {
+		env := attempt(j, c.t, 0.01)
+		jammed := env.SNROffset == -30
+		if jammed != c.want {
+			t.Errorf("t=%v jammed=%v, want %v", float64(c.t), jammed, c.want)
+		}
+		if c.want && env.FER != 1 {
+			t.Errorf("t=%v FER=%v under Loss=1", float64(c.t), env.FER)
+		}
+	}
+	if j.Events() != 3 {
+		t.Errorf("jam bursts = %d, want 3", j.Events())
+	}
+}
+
+func TestJammerSingleBurst(t *testing.T) {
+	j := &Jammer{Start: 5, Duration: 2, SNRCrush: 10}
+	if env := attempt(j, 6, 0); env.SNROffset != -10 {
+		t.Error("burst not active at t=6")
+	}
+	if env := attempt(j, 100, 0); env.SNROffset != 0 {
+		t.Error("period-0 jammer re-fired")
+	}
+}
+
+func TestDropoutKillsCarrier(t *testing.T) {
+	d := &Dropout{Start: 0, Period: 10, Duration: 2}
+	env := attempt(d, 1, 0.01)
+	if !env.CarrierLost || env.FER != 1 {
+		t.Errorf("dropout window: %+v", env)
+	}
+	env = attempt(d, 5, 0.01)
+	if env.CarrierLost || env.FER != 0.01 {
+		t.Errorf("outside window: %+v", env)
+	}
+}
+
+func TestBrownoutSides(t *testing.T) {
+	for _, c := range []struct {
+		side   Side
+		tx, rx float64
+	}{
+		{SideTX, 3, 1},
+		{SideRX, 1, 3},
+		{SideBoth, 3, 3},
+	} {
+		b := &Brownout{Start: 0, Duration: 10, Scale: 3, Affected: c.side}
+		env := attempt(b, 1, 0)
+		if env.TXDrain != c.tx || env.RXDrain != c.rx {
+			t.Errorf("side %v: tx=%v rx=%v, want %v/%v", c.side, env.TXDrain, env.RXDrain, c.tx, c.rx)
+		}
+	}
+	// Sub-unity scales clamp to 1: brownouts never *save* energy.
+	b := &Brownout{Start: 0, Duration: 10, Scale: 0.5, Affected: SideBoth}
+	if env := attempt(b, 1, 0); env.TXDrain != 1 || env.RXDrain != 1 {
+		t.Error("scale < 1 not clamped")
+	}
+}
+
+func TestSNRCorruptorBiasAndNoise(t *testing.T) {
+	c := NewSNRCorruptor(-4, 2, 9)
+	sum, sumSq := 0.0, 0.0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		off := attempt(c, units.Second(i), 0).SNROffset
+		sum += off
+		sumSq += off * off
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean+4) > 0.2 {
+		t.Errorf("mean offset = %v, want ≈ -4", mean)
+	}
+	if math.Abs(sd-2) > 0.2 {
+		t.Errorf("offset sd = %v, want ≈ 2", sd)
+	}
+}
+
+func TestChainComposesAndCounts(t *testing.T) {
+	ch := Chain{
+		&Jammer{Start: 0, Duration: 100, SNRCrush: 10, Loss: 0.5},
+		&Dropout{Start: 0, Duration: 100},
+		NewSNRCorruptor(-1, 0, 3),
+	}
+	env := attempt(ch, 1, 0.1)
+	if env.SNROffset != -11 {
+		t.Errorf("offsets did not add: %v", env.SNROffset)
+	}
+	if !env.CarrierLost || env.FER != 1 {
+		t.Errorf("dropout lost in chain: %+v", env)
+	}
+	ctr := ch.Counters()
+	if ctr["jammer"] != 1 || ctr["dropout"] != 1 {
+		t.Errorf("counters = %v", ctr)
+	}
+}
+
+func TestCompoundLoss(t *testing.T) {
+	var env Env
+	env.Reset(0, phy.ModeActive, units.Rate1M, 0.5)
+	env.compound(0.5)
+	if math.Abs(env.FER-0.75) > 1e-12 {
+		t.Errorf("compound(0.5, 0.5) = %v, want 0.75", env.FER)
+	}
+	env.compound(0)
+	if env.FER != 0.75 {
+		t.Error("compound(0) changed FER")
+	}
+	env.compound(1)
+	if env.FER != 1 {
+		t.Error("compound(1) != certain loss")
+	}
+}

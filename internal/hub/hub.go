@@ -10,6 +10,13 @@
 // (one radio, one link at a time), re-solving each member's offload
 // allocation against the hub's *remaining* budget so that early traffic
 // from one wearable is reflected in the braiding chosen for the others.
+//
+// Members are fault-isolated: a member whose link dies (it walked out of
+// range, its carrier dropped, its QoS floor became infeasible) is
+// quarantined after a bounded number of consecutive failed rounds —
+// its MemberResult carries a typed error wrapping ErrMemberQuarantined
+// and the cause — while the round-robin keeps serving healthy members.
+// Pre-quarantine, one degraded member could sink the whole run.
 package hub
 
 import (
@@ -18,8 +25,10 @@ import (
 
 	"braidio/internal/core"
 	"braidio/internal/energy"
+	"braidio/internal/faults"
 	"braidio/internal/linkcache"
 	"braidio/internal/phy"
+	"braidio/internal/sim"
 	"braidio/internal/units"
 )
 
@@ -29,6 +38,16 @@ type Member struct {
 	Device energy.Device
 	// Distance from the hub.
 	Distance units.Meter
+	// Walk, when non-nil, drives the member's distance from wall-clock
+	// time (evaluated at each round's start), overriding Distance — a
+	// member that wanders out of range mid-run fails its rounds and is
+	// eventually quarantined.
+	Walk sim.Walk
+	// Faults, when non-nil, injects link faults into the member's
+	// rounds: a carrier dropout window makes the round an outage, and
+	// brownout drain scales are charged on top of the braid's nominal
+	// energy (TX side = the member, RX side = the hub).
+	Faults faults.Injector
 	// Load is the member's offered traffic in payload bits per second
 	// of wall-clock time.
 	Load units.BitRate
@@ -42,10 +61,20 @@ type Member struct {
 // Hub is a star network under construction. Create with New, add
 // members, then Run.
 type Hub struct {
+	// QuarantineStrikes is how many consecutive failed rounds (link
+	// error, outage, infeasible QoS floor) a member survives before it
+	// is quarantined for the rest of the run. Zero means the default of
+	// three; a successful round resets the member's count.
+	QuarantineStrikes int
+
 	device  energy.Device
 	model   *phy.Model
 	members []Member
 }
+
+// defaultQuarantineStrikes is the strike budget when the caller leaves
+// QuarantineStrikes at zero.
+const defaultQuarantineStrikes = 3
 
 // New creates a hub on the given device using the calibrated model when
 // m is nil.
@@ -72,6 +101,13 @@ func (h *Hub) Add(m Member) error {
 // Members returns the registered members.
 func (h *Hub) Members() []Member { return h.members }
 
+// ErrMemberQuarantined reports that a member was removed from the
+// round-robin after exhausting its strike budget. MemberResult.Err wraps
+// it together with the final failure's cause, so both
+// errors.Is(err, ErrMemberQuarantined) and errors.Is against the cause
+// (e.g. core.ErrOutOfRange) hold.
+var ErrMemberQuarantined = errors.New("hub: member quarantined")
+
 // MemberResult is one member's share of a hub run.
 type MemberResult struct {
 	Member Member
@@ -84,6 +120,15 @@ type MemberResult struct {
 	ModeBits map[phy.Mode]float64
 	// Starved reports that the member's battery died before the horizon.
 	Starved bool
+	// Quarantined reports the member was removed from the round-robin;
+	// Err then wraps ErrMemberQuarantined and the final cause, and
+	// QuarantinedRound records when.
+	Quarantined      bool
+	QuarantinedRound int
+	// Err is the member's terminal failure, nil for a healthy member.
+	Err error
+	// OutageRounds counts rounds lost to injected carrier dropouts.
+	OutageRounds int
 }
 
 // Result is the outcome of a hub run.
@@ -96,6 +141,11 @@ type Result struct {
 	HubExhausted bool
 	// Members holds per-member outcomes in registration order.
 	Members []MemberResult
+	// Quarantines counts members removed from the round-robin.
+	Quarantines int
+	// OutageRounds totals rounds lost to injected outages across
+	// members.
+	OutageRounds int
 	// LPSolves and AllocReuses aggregate the braid engine's offload
 	// solver counters across every member run: how many allocations were
 	// actually solved versus served from the ratio-keyed memo.
@@ -114,11 +164,25 @@ func (r *Result) TotalBits() float64 {
 // ErrNoMembers reports an empty hub.
 var ErrNoMembers = errors.New("hub: no members")
 
+// strikeLimit returns the configured quarantine strike budget.
+func (h *Hub) strikeLimit() int {
+	if h.QuarantineStrikes > 0 {
+		return h.QuarantineStrikes
+	}
+	return defaultQuarantineStrikes
+}
+
 // Run simulates the star for a wall-clock horizon, delivering each
 // member's offered load in rounds. Each round covers a slice of the
 // horizon; within a round every member moves its offered bits through a
 // braid whose allocation is re-solved against the member's and the
 // hub's current remaining energy. Run stops early if the hub dies.
+//
+// Member failures do not abort the run: a round that errors (the member
+// walked out of range, its QoS floor is infeasible, its carrier dropped)
+// counts a strike, and a member that exhausts its strike budget is
+// quarantined — recorded in its MemberResult — while the remaining
+// members keep being served.
 func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 	if len(h.members) == 0 {
 		return nil, ErrNoMembers
@@ -138,17 +202,40 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 	for i, m := range h.members {
 		res.Members[i] = MemberResult{Member: m, ModeBits: make(map[phy.Mode]float64)}
 	}
+	strikes := make([]int, len(h.members))
 
 	slice := horizon / units.Second(rounds)
 	for round := 0; round < rounds && !hubBatt.Empty(); round++ {
+		now := units.Second(round) * slice
 		for i, m := range h.members {
 			mr := &res.Members[i]
+			if mr.Quarantined {
+				continue
+			}
 			if memberBatts[i].Empty() {
 				mr.Starved = true
 				continue
 			}
+			d := m.Distance
+			if m.Walk != nil {
+				d = m.Walk.DistanceAt(now)
+			}
+			txScale, rxScale := 1.0, 1.0
+			if m.Faults != nil {
+				var env faults.Env
+				env.Reset(now, phy.ModeActive, units.Rate1M, 0)
+				m.Faults.Impair(&env)
+				if env.CarrierLost {
+					mr.OutageRounds++
+					res.OutageRounds++
+					h.strikeMember(mr, &strikes[i], round,
+						fmt.Errorf("hub: member %s: carrier lost at t=%vs", m.Device.Name, float64(now)), res)
+					continue
+				}
+				txScale, rxScale = env.TXDrain, env.RXDrain
+			}
 			bits := float64(m.Load) * float64(slice)
-			braid := core.NewBraid(h.model, m.Distance)
+			braid := core.NewBraid(h.model, d)
 			braid.MaxBits = bits
 			if m.MinRate > 0 {
 				minRate := m.MinRate
@@ -158,14 +245,28 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 			}
 			run, err := braid.Run(memberBatts[i], hubBatt)
 			if err != nil {
-				return nil, fmt.Errorf("hub: member %s: %w", m.Device.Name, err)
+				h.strikeMember(mr, &strikes[i], round,
+					fmt.Errorf("hub: member %s: %w", m.Device.Name, err), res)
+				continue
 			}
+			strikes[i] = 0
 			mr.Bits += run.Bits
 			res.LPSolves += run.LPSolves
 			res.AllocReuses += run.AllocReuses
 			mr.MemberDrain += run.Drain1
 			mr.HubDrain += run.Drain2
 			res.HubDrain += run.Drain2
+			if txScale > 1 {
+				extra := run.Drain1 * units.Joule(txScale-1)
+				memberBatts[i].Drain(extra)
+				mr.MemberDrain += extra
+			}
+			if rxScale > 1 {
+				extra := run.Drain2 * units.Joule(rxScale-1)
+				hubBatt.Drain(extra)
+				mr.HubDrain += extra
+				res.HubDrain += extra
+			}
 			for mode, b := range run.ModeBits {
 				mr.ModeBits[mode] += b
 			}
@@ -181,6 +282,20 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 	}
 	res.HubExhausted = hubBatt.Empty()
 	return res, nil
+}
+
+// strikeMember records one failed round for a member and quarantines it
+// once the strike budget is exhausted, wrapping ErrMemberQuarantined
+// around the final cause.
+func (h *Hub) strikeMember(mr *MemberResult, strikes *int, round int, cause error, res *Result) {
+	*strikes++
+	if *strikes < h.strikeLimit() {
+		return
+	}
+	mr.Quarantined = true
+	mr.QuarantinedRound = round
+	mr.Err = fmt.Errorf("%w after %d consecutive failed rounds: %w", ErrMemberQuarantined, *strikes, cause)
+	res.Quarantines++
 }
 
 // HubShare returns the fraction of the joint radio bill the hub paid

@@ -5,8 +5,11 @@ import (
 	"math"
 	"testing"
 
+	"braidio/internal/core"
 	"braidio/internal/energy"
+	"braidio/internal/faults"
 	"braidio/internal/phy"
+	"braidio/internal/sim"
 	"braidio/internal/units"
 )
 
@@ -234,5 +237,133 @@ func TestHubQoSFloor(t *testing.T) {
 	}
 	if f := res2.Members[0].ModeBits[phy.ModeBackscatter] / res2.Members[0].Bits; f < 0.1 {
 		t.Errorf("unconstrained member used only %v backscatter", f)
+	}
+}
+
+// TestHubQuarantinesWanderingMember: a member that walks out of range
+// mid-run is quarantined with a typed error after its strike budget,
+// while the healthy members' deliveries match a run without it.
+func TestHubQuarantinesWanderingMember(t *testing.T) {
+	build := func(withWanderer bool) *Hub {
+		h := New(dev(t, "iPhone 6S"), nil)
+		for _, m := range []Member{
+			{Device: dev(t, "Nike Fuel Band"), Distance: 0.4, Load: 1000},
+			{Device: dev(t, "Apple Watch"), Distance: 0.4, Load: 5000},
+		} {
+			if err := h.Add(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if withWanderer {
+			err := h.Add(Member{
+				Device:   dev(t, "Pivothead"),
+				Distance: 0.6,
+				Walk:     sim.LinearWalk{Start: 0.6, End: 2000, Duration: 1800},
+				Load:     200000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return h
+	}
+	const horizon = 3600
+	res, err := build(true).Run(horizon, 12)
+	if err != nil {
+		t.Fatalf("a wandering member aborted the whole run: %v", err)
+	}
+	wanderer := res.Members[2]
+	if !wanderer.Quarantined {
+		t.Fatal("member at 2 km was never quarantined")
+	}
+	if !errors.Is(wanderer.Err, ErrMemberQuarantined) {
+		t.Errorf("quarantine error %v does not wrap ErrMemberQuarantined", wanderer.Err)
+	}
+	if !errors.Is(wanderer.Err, core.ErrOutOfRange) {
+		t.Errorf("quarantine error %v does not carry its out-of-range cause", wanderer.Err)
+	}
+	if res.Quarantines != 1 {
+		t.Errorf("quarantines = %d, want 1", res.Quarantines)
+	}
+	if wanderer.Bits <= 0 {
+		t.Error("wanderer delivered nothing while still in range")
+	}
+
+	// The healthy members must be unaffected (switch-overhead tolerance).
+	ref, err := build(false).Run(horizon, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, want := res.Members[i], ref.Members[i]
+		if got.Quarantined || got.Err != nil {
+			t.Errorf("healthy member %s: quarantined=%v err=%v", got.Member.Device.Name, got.Quarantined, got.Err)
+		}
+		if want.Bits <= 0 {
+			t.Fatalf("reference member %s delivered nothing", want.Member.Device.Name)
+		}
+		if diff := math.Abs(got.Bits-want.Bits) / want.Bits; diff > 0.01 {
+			t.Errorf("%s: %v bits with wanderer vs %v without (%.2f%% off)",
+				got.Member.Device.Name, got.Bits, want.Bits, 100*diff)
+		}
+	}
+}
+
+// TestHubMemberOutageRounds: a periodic carrier dropout costs the member
+// its affected rounds — counted, not quarantined, because successful
+// rounds in between reset the strike count.
+func TestHubMemberOutageRounds(t *testing.T) {
+	h := New(dev(t, "iPhone 6S"), nil)
+	err := h.Add(Member{
+		Device:   dev(t, "Apple Watch"),
+		Distance: 0.4,
+		Load:     5000,
+		Faults:   &faults.Dropout{Start: 0, Period: 900, Duration: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 3600
+	res, err := h.Run(horizon, 12) // 300 s rounds; outages hit rounds 0, 3, 6, 9
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := res.Members[0]
+	if mr.OutageRounds != 4 || res.OutageRounds != 4 {
+		t.Errorf("outage rounds = %d (total %d), want 4", mr.OutageRounds, res.OutageRounds)
+	}
+	if mr.Quarantined {
+		t.Errorf("isolated outages quarantined the member: %v", mr.Err)
+	}
+	want := float64(mr.Member.Load) * horizon * 8 / 12
+	if math.Abs(mr.Bits-want)/want > 0.01 {
+		t.Errorf("bits = %v, want the 8 clean rounds' %v", mr.Bits, want)
+	}
+}
+
+// TestHubBrownoutChargesMember: a TX-side brownout charges the member's
+// battery for the harvesting shortfall while the hub's bill is unchanged.
+func TestHubBrownoutChargesMember(t *testing.T) {
+	run := func(inj faults.Injector) MemberResult {
+		h := New(dev(t, "iPhone 6S"), nil)
+		if err := h.Add(Member{Device: dev(t, "Apple Watch"), Distance: 0.4, Load: 5000, Faults: inj}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.Run(3600, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Members[0]
+	}
+	base := run(nil)
+	brown := run(&faults.Brownout{Duration: 1e9, Scale: 2, Affected: faults.SideTX})
+	if ratio := float64(brown.MemberDrain / base.MemberDrain); ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("member drain ratio = %v under a 2× TX brownout, want ≈2", ratio)
+	}
+	if ratio := float64(brown.HubDrain / base.HubDrain); ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("hub drain ratio = %v under a TX-only brownout, want ≈1", ratio)
+	}
+	if math.Abs(brown.Bits-base.Bits)/base.Bits > 0.01 {
+		t.Errorf("bits changed under brownout: %v vs %v", brown.Bits, base.Bits)
 	}
 }

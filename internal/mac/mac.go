@@ -10,8 +10,15 @@
 //
 // The chunked engine in internal/core answers "how many bits until a
 // battery dies" analytically; this package exists to exercise the actual
-// protocol dynamics — integration tests drive mobility and battery
-// depletion through it.
+// protocol dynamics — integration tests drive mobility, battery
+// depletion, and injected channel faults (internal/faults) through it.
+//
+// The fallback path carries hysteresis: a cooldown bounds how often the
+// safety net can fire, and consecutive fallbacks impose a jittered
+// exponential backoff during which only the active mode is scheduled, so
+// a link sitting at its decode margin cannot flap between fallback and
+// passive re-entry every few frames. A link that stays down through
+// bounded recovery attempts surfaces as core.ErrLinkDead.
 package mac
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"braidio/internal/core"
 	"braidio/internal/energy"
+	"braidio/internal/faults"
 	"braidio/internal/frame"
 	"braidio/internal/linkcache"
 	"braidio/internal/modem"
@@ -30,12 +38,38 @@ import (
 	"braidio/internal/units"
 )
 
+// ErrExhausted reports a SendFrame on a session whose battery already
+// died.
+var ErrExhausted = errors.New("mac: session battery exhausted")
+
+// Walk is the mobility source a Session can be driven by: the separation
+// between the endpoints as a function of time. It is structurally
+// identical to sim.Walk, so any of that package's mobility models plug
+// in directly (the interface is redeclared here only to keep the import
+// graph acyclic — sim's tests drive mac.Sessions).
+type Walk interface {
+	// DistanceAt returns the separation at absolute time t ≥ 0.
+	DistanceAt(t units.Second) units.Meter
+}
+
 // Config parameterizes a Session.
 type Config struct {
 	// Model is the calibrated PHY.
 	Model *phy.Model
 	// Distance is the initial separation.
 	Distance units.Meter
+	// Walk, when non-nil, drives the separation from the session's air
+	// time: link quality is re-read from the walk at probe and recompute
+	// boundaries, so BER/FER track live mobility instead of the initial
+	// Distance. SetDistance still works but the walk re-asserts itself
+	// at the next boundary.
+	Walk Walk
+	// Faults, when non-nil, injects channel impairments (burst loss,
+	// jamming, carrier dropout, brownout, estimator corruption) into
+	// every frame attempt and probe. Nil — and equally an empty
+	// faults.Chain — leaves the channel bit-identical to the fault-free
+	// path.
+	Faults faults.Injector
 	// Seed drives all stochastic elements (losses, SNR estimation
 	// noise).
 	Seed uint64
@@ -47,6 +81,26 @@ type Config struct {
 	// this far below its decode requirement, the session falls back to
 	// the active mode and re-probes (§4.2's safety net).
 	FallbackSNRMargin units.DB
+	// FallbackCooldown is the hysteresis floor: after a fallback the
+	// safety net will not fire again for this many frames (suppressed
+	// triggers are counted in Stats.FallbacksSuppressed). Zero disables
+	// the cooldown — the pre-hysteresis behavior.
+	FallbackCooldown int
+	// FallbackBackoffBase is the re-entry backoff after a *repeated*
+	// fallback, measured in recompute periods: the second consecutive
+	// fallback keeps the schedule active-only for Base periods, the
+	// third for 2×Base, doubling up to FallbackBackoffMax, with up to
+	// +50% deterministic jitter so endpoints don't re-probe in lockstep.
+	// Zero disables re-entry backoff.
+	FallbackBackoffBase int
+	// FallbackBackoffMax caps the backoff, in recompute periods.
+	FallbackBackoffMax int
+	// MaxLinkStrikes bounds consecutive failed recovery attempts (an
+	// active-mode frame lost after all retries, or a fallback whose
+	// re-probe still finds no usable link) before SendFrame returns
+	// core.ErrLinkDead. Any delivered frame resets the count. Zero
+	// means a single strike is fatal.
+	MaxLinkStrikes int
 	// SNRNoise is the standard deviation (dB) of per-frame SNR
 	// estimates.
 	SNRNoise float64
@@ -63,14 +117,18 @@ type Config struct {
 // DefaultConfig returns the configuration used by the integration tests.
 func DefaultConfig(m *phy.Model, d units.Meter, seed uint64) Config {
 	return Config{
-		Model:             m,
-		Distance:          d,
-		Seed:              seed,
-		Window:            16,
-		RecomputeFrames:   256,
-		FallbackSNRMargin: 3,
-		SNRNoise:          1.0,
-		MaxRetries:        8,
+		Model:               m,
+		Distance:            d,
+		Seed:                seed,
+		Window:              16,
+		RecomputeFrames:     256,
+		FallbackSNRMargin:   3,
+		FallbackCooldown:    16,
+		FallbackBackoffBase: 1,
+		FallbackBackoffMax:  8,
+		MaxLinkStrikes:      12,
+		SNRNoise:            1.0,
+		MaxRetries:          8,
 	}
 }
 
@@ -88,6 +146,15 @@ type Stats struct {
 	Recomputes int
 	// Fallbacks counts emergency reversions to the active mode.
 	Fallbacks int
+	// FallbacksSuppressed counts fallback triggers absorbed by the
+	// hysteresis cooldown — flaps the safety net declined to chase.
+	FallbacksSuppressed int
+	// BackoffWaits counts recompute boundaries spent waiting out a
+	// re-entry backoff (probing and re-admission deferred).
+	BackoffWaits int
+	// Outages counts completed loss episodes the session survived: runs
+	// of one or more lost frames that ended with a delivery.
+	Outages int
 	// ModeSwitches counts radio reconfigurations.
 	ModeSwitches int
 	// ModeFrames attributes delivered frames to modes.
@@ -95,6 +162,11 @@ type Stats struct {
 	// AirTime is the cumulative on-air duration.
 	AirTime units.Second
 }
+
+// carrierLostSNR is the estimator seed for a probe that found no carrier
+// at all: far below any decode requirement, so the mode is not offered
+// to the optimizer until a later probe hears it again.
+const carrierLostSNR = -40.0
 
 // Session is a braided MAC session moving data from a transmitter to a
 // receiver.
@@ -107,11 +179,23 @@ type Session struct {
 	sched        *core.Scheduler
 	current      phy.Mode
 	snrEWMA      map[phy.Mode]float64
+	dist         units.Meter
 	frames       int
 	nextSeq      uint16
 	stats        Stats
 	dead         bool
 	traceStarted bool
+
+	env faults.Env // scratch, reset per attempt
+
+	// Hysteresis and link-death state.
+	lastFallback    int // frame index of the last executed fallback
+	flapDeadline    int // a fallback at or before this frame is a flap
+	consecFallbacks int // current flap streak
+	reentryUntil    int // frame before which only active is scheduled
+	strikes         int // consecutive failed recovery attempts
+	inOutage        bool
+	fatal           error // deferred link-death from maybeFallback
 }
 
 // NewSession creates a session, performs the active-mode battery
@@ -125,16 +209,25 @@ func NewSession(cfg Config, txBatt, rxBatt *energy.Battery) (*Session, error) {
 	if cfg.Window < 1 || cfg.RecomputeFrames < 1 || cfg.MaxRetries < 1 {
 		return nil, fmt.Errorf("mac: invalid config %+v", cfg)
 	}
+	if cfg.FallbackCooldown < 0 || cfg.FallbackBackoffBase < 0 || cfg.FallbackBackoffMax < 0 || cfg.MaxLinkStrikes < 0 {
+		return nil, fmt.Errorf("mac: negative hysteresis parameters %+v", cfg)
+	}
 	s := &Session{
-		cfg:     cfg,
-		rng:     rng.New(cfg.Seed),
-		txBatt:  txBatt,
-		rxBatt:  rxBatt,
-		current: phy.ModeActive,
-		snrEWMA: make(map[phy.Mode]float64),
+		cfg:          cfg,
+		rng:          rng.New(cfg.Seed),
+		txBatt:       txBatt,
+		rxBatt:       rxBatt,
+		current:      phy.ModeActive,
+		snrEWMA:      make(map[phy.Mode]float64),
+		dist:         cfg.Distance,
+		lastFallback: math.MinInt / 2,
+		flapDeadline: -1,
+	}
+	if cfg.Walk != nil {
+		s.dist = cfg.Walk.DistanceAt(0)
 	}
 	s.stats.ModeFrames = make(map[phy.Mode]int)
-	if !s.cfg.Model.Available(phy.ModeActive, cfg.Distance) {
+	if !s.cfg.Model.Available(phy.ModeActive, s.dist) {
 		return nil, core.ErrOutOfRange
 	}
 	s.exchangeBattery()
@@ -157,10 +250,45 @@ func (s *Session) CurrentMode() phy.Mode { return s.current }
 // Dead reports whether a battery has been exhausted.
 func (s *Session) Dead() bool { return s.dead }
 
+// Distance returns the separation the session currently believes in —
+// the walk's value at the last probe/recompute boundary, or the static
+// configuration.
+func (s *Session) Distance() units.Meter { return s.dist }
+
 // SetDistance moves the endpoints (mobility); the session notices
 // degraded SNR through its estimator and falls back / re-probes on its
-// own.
-func (s *Session) SetDistance(d units.Meter) { s.cfg.Distance = d }
+// own. When a Walk is configured it re-asserts itself at the next
+// boundary.
+func (s *Session) SetDistance(d units.Meter) {
+	s.cfg.Distance = d
+	s.dist = d
+}
+
+// syncDistance re-reads the walk at a probe/recompute boundary so link
+// quality tracks live mobility rather than the session's initial
+// separation.
+func (s *Session) syncDistance() {
+	if s.cfg.Walk != nil {
+		s.dist = s.cfg.Walk.DistanceAt(s.stats.AirTime)
+	}
+}
+
+// impair resets the session's scratch Env for one frame attempt and runs
+// the configured fault chain over it. With no faults configured it is
+// the identity and costs no randomness.
+func (s *Session) impair(m phy.Mode, r units.BitRate, fer float64) *faults.Env {
+	s.env.Reset(s.stats.AirTime, m, r, fer)
+	if s.cfg.Faults != nil {
+		s.cfg.Faults.Impair(&s.env)
+	}
+	return &s.env
+}
+
+// inBackoff reports whether the session is waiting out a re-entry
+// backoff window.
+func (s *Session) inBackoff() bool {
+	return s.reentryUntil > 0 && s.frames < s.reentryUntil
+}
 
 // chargeFrame drains both sides for one frame attempt in a mode/rate and
 // advances air time. The airtime is stretched by the mode's protocol
@@ -168,9 +296,16 @@ func (s *Session) SetDistance(d units.Meter) { s.cfg.Distance = d }
 // envelope-settling gaps — phy.ProtocolEfficiency). Returns false when a
 // battery died.
 func (s *Session) chargeFrame(m phy.Mode, r units.BitRate, wireBits float64) bool {
+	return s.chargeFrameScaled(m, r, wireBits, 1, 1)
+}
+
+// chargeFrameScaled is chargeFrame with per-side drain multipliers — the
+// hook brownout injection applies through (a scale of exactly 1 is
+// bit-identical to the unscaled path).
+func (s *Session) chargeFrameScaled(m phy.Mode, r units.BitRate, wireBits, txScale, rxScale float64) bool {
 	t := units.Second(wireBits / float64(r) / phy.ProtocolEfficiency(m))
-	okTX := s.txBatt.DrainPower(phy.TXPower(m, r), t)
-	okRX := s.rxBatt.DrainPower(phy.RXPower(m, r), t)
+	okTX := s.txBatt.Drain(units.Joule(txScale) * units.Energy(phy.TXPower(m, r), t))
+	okRX := s.rxBatt.Drain(units.Joule(rxScale) * units.Energy(phy.RXPower(m, r), t))
 	s.stats.AirTime += t
 	if !okTX || !okRX {
 		s.dead = true
@@ -203,7 +338,7 @@ func refRate(m phy.Mode) units.BitRate {
 // the noisy estimate.
 func (s *Session) measureSNR(m phy.Mode) (units.DB, units.BitRate) {
 	r := refRate(m)
-	snr := float64(linkcache.SNR(s.cfg.Model, m, r, s.cfg.Distance))
+	snr := float64(linkcache.SNR(s.cfg.Model, m, r, s.dist))
 	return units.DB(snr + s.rng.Norm()*s.cfg.SNRNoise), r
 }
 
@@ -250,23 +385,38 @@ const probeBits = 32
 
 // probeAll sends probe frames over every mode and seeds the SNR
 // estimators (§4.2: "The two end-points use probe packets over the two
-// links to determine the SNR and bitrate parameters").
+// links to determine the SNR and bitrate parameters"). Probes read the
+// walk-driven distance and pass through the fault chain: a jammed probe
+// seeds a crushed estimate, a dropped carrier seeds carrierLostSNR.
 func (s *Session) probeAll() {
+	s.syncDistance()
 	for _, m := range phy.Modes {
-		snr, r := s.measureSNR(m)
-		s.snrEWMA[m] = float64(snr)
+		r := refRate(m)
+		env := s.impair(m, r, 0)
+		if env.CarrierLost {
+			s.snrEWMA[m] = carrierLostSNR
+		} else {
+			snr, _ := s.measureSNR(m)
+			s.snrEWMA[m] = float64(snr) + env.SNROffset
+		}
 		s.stats.Probes++
-		s.chargeFrame(m, r, probeBits)
+		s.chargeFrameScaled(m, r, probeBits, env.TXDrain, env.RXDrain)
 	}
 }
 
 // characterize builds the mode links from the session's own SNR
 // estimates and rate adaptation — the measured equivalent of the PHY
 // oracle's Characterize, using only quantities a real endpoint has:
-// probe estimates and calibration constants.
+// probe estimates and calibration constants. During a re-entry backoff
+// only the active mode is offered, so a flapping link cannot be
+// re-admitted until the backoff expires.
 func (s *Session) characterize() []phy.ModeLink {
+	backoff := s.inBackoff()
 	var links []phy.ModeLink
 	for _, m := range phy.Modes {
+		if backoff && m != phy.ModeActive {
+			continue
+		}
 		r, ok := s.adaptRate(m)
 		if !ok {
 			continue
@@ -282,15 +432,19 @@ func (s *Session) characterize() []phy.ModeLink {
 }
 
 // recompute re-solves the allocation from current battery levels and
-// the measured link characterization, and rebuilds the schedule.
+// the measured link characterization, and rebuilds the schedule. Errors
+// wrap the optimizer's typed causes (core.ErrOutOfRange,
+// core.ErrDegenerateAllocation, core.ErrNoLinks, …) so callers can
+// errors.Is them.
 func (s *Session) recompute() error {
+	s.syncDistance()
 	links := s.characterize()
 	if len(links) == 0 {
-		return core.ErrOutOfRange
+		return fmt.Errorf("mac: recompute: %w", core.ErrOutOfRange)
 	}
 	alloc, err := core.Optimize(links, s.txBatt.Remaining(), s.rxBatt.Remaining())
 	if err != nil {
-		return err
+		return fmt.Errorf("mac: recompute allocation: %w", err)
 	}
 	s.alloc = alloc
 	if s.sched == nil {
@@ -314,37 +468,105 @@ func (s *Session) switchTo(m phy.Mode, r units.BitRate) {
 	s.stats.ModeSwitches++
 }
 
+// strike records one failed recovery attempt. When the configured budget
+// is exhausted it converts the cause into a core.ErrLinkDead that wraps
+// it; any delivered frame resets the count.
+func (s *Session) strike(cause error) error {
+	s.strikes++
+	limit := s.cfg.MaxLinkStrikes
+	if limit < 1 {
+		limit = 1
+	}
+	if s.strikes >= limit {
+		return fmt.Errorf("%w (%d attempts): %w", core.ErrLinkDead, s.strikes, cause)
+	}
+	return nil
+}
+
 // fallback reverts to the active mode after the current mode degraded
 // (§4.2: "Braidio simply falls back to the active mode if the current
 // operating mode is performing poorly"), then re-probes and re-computes.
+// Hysteresis shapes it: triggers within FallbackCooldown frames of the
+// last fallback are suppressed, and a *repeated* fallback additionally
+// arms a jittered exponential re-entry backoff during which only the
+// active mode is scheduled. A fallback whose re-probe still finds no
+// usable link counts a strike; the error is non-nil only once the strike
+// budget is gone (core.ErrLinkDead).
 func (s *Session) fallback() error {
+	if s.frames-s.lastFallback < s.cfg.FallbackCooldown {
+		s.stats.FallbacksSuppressed++
+		return nil
+	}
+	flap := s.frames <= s.flapDeadline
+	if flap {
+		s.consecFallbacks++
+	} else {
+		s.consecFallbacks = 1
+	}
+	s.lastFallback = s.frames
 	s.stats.Fallbacks++
 	s.switchTo(phy.ModeActive, units.Rate1M)
+	if flap && s.cfg.FallbackBackoffBase > 0 {
+		s.reentryUntil = s.frames + s.backoffFrames()
+	}
 	s.probeAll()
-	return s.recompute()
+	s.flapDeadline = max(s.frames, s.reentryUntil) + 2*s.cfg.RecomputeFrames
+	if err := s.recompute(); err != nil {
+		return s.strike(err)
+	}
+	return nil
+}
+
+// backoffFrames returns the current re-entry backoff in frames:
+// Base recompute periods doubling per consecutive flap, capped at
+// FallbackBackoffMax periods, plus up to +50% jitter drawn from the
+// session stream so paired endpoints don't re-probe in lockstep.
+func (s *Session) backoffFrames() int {
+	periods := s.cfg.FallbackBackoffBase << uint(min(s.consecFallbacks-2, 30))
+	if s.cfg.FallbackBackoffMax > 0 && periods > s.cfg.FallbackBackoffMax {
+		periods = s.cfg.FallbackBackoffMax
+	}
+	frames := periods * s.cfg.RecomputeFrames
+	return frames + int(0.5*float64(frames)*s.rng.Float64())
 }
 
 // SendFrame moves one data frame of the given payload size through the
 // braid, retransmitting on loss. It returns whether the frame was
 // delivered; delivery fails when a battery dies or the frame exceeds
-// MaxRetries (which triggers fallback).
+// MaxRetries (which triggers fallback). A link that stays down through
+// bounded recovery attempts returns an error wrapping core.ErrLinkDead.
 func (s *Session) SendFrame(payloadLen int) (bool, error) {
+	if s.fatal != nil {
+		return false, s.fatal
+	}
 	if s.dead {
-		return false, errors.New("mac: session battery exhausted")
+		return false, ErrExhausted
 	}
 	if payloadLen < 0 || payloadLen > frame.MaxPayload {
 		return false, fmt.Errorf("mac: payload %d outside [0,%d]", payloadLen, frame.MaxPayload)
 	}
 	if s.frames > 0 && s.frames%s.cfg.RecomputeFrames == 0 {
-		// Every few recomputes, re-probe to keep estimates fresh for
-		// modes the current allocation never exercises — the only way
-		// to notice a link that *improved* (moving closer never
-		// triggers a fallback).
-		if (s.frames/s.cfg.RecomputeFrames)%2 == 0 {
+		if s.reentryUntil > 0 && s.frames >= s.reentryUntil {
+			// Backoff expired: probe immediately so the recompute sees
+			// fresh estimates and can re-admit a recovered link.
+			s.reentryUntil = 0
+			s.probeAll()
+		} else if s.inBackoff() {
+			// Waiting out the backoff: defer probing and re-admission.
+			s.stats.BackoffWaits++
+		} else if (s.frames/s.cfg.RecomputeFrames)%2 == 0 {
+			// Every few recomputes, re-probe to keep estimates fresh for
+			// modes the current allocation never exercises — the only way
+			// to notice a link that *improved* (moving closer never
+			// triggers a fallback).
 			s.probeAll()
 		}
 		if err := s.recompute(); err != nil {
-			return false, err
+			// Keep serving on the stale allocation; the link-death
+			// strike budget bounds how long this can go on.
+			if ferr := s.strike(err); ferr != nil {
+				return false, ferr
+			}
 		}
 	}
 	s.frames++
@@ -361,22 +583,34 @@ func (s *Session) SendFrame(payloadLen int) (bool, error) {
 	}
 	s.switchTo(mode, rate)
 
-	ber := linkcache.BER(s.cfg.Model, mode, rate, s.cfg.Distance)
+	ber := linkcache.BER(s.cfg.Model, mode, rate, s.dist)
 	fer := frame.FrameErrorRate(ber, payloadLen)
 	wire := float64(frame.WireBits(payloadLen))
 
 	for attempt := 0; attempt <= s.cfg.MaxRetries; attempt++ {
-		if !s.chargeFrame(mode, rate, wire) {
+		env := s.impair(mode, rate, fer)
+		if !s.chargeFrameScaled(mode, rate, wire, env.TXDrain, env.RXDrain) {
 			return false, nil
+		}
+		if env.CarrierLost {
+			// Nothing to decode and nothing to measure; the transmitter
+			// paid anyway.
+			s.stats.Retransmissions++
+			continue
 		}
 		// Update the SNR estimator with this frame's observation.
 		snr, _ := s.measureSNR(mode)
-		s.snrEWMA[mode] = 0.9*s.snrEWMA[mode] + 0.1*float64(snr)
-		if s.rng.Float64() >= fer {
+		s.snrEWMA[mode] = 0.9*s.snrEWMA[mode] + 0.1*(float64(snr)+env.SNROffset)
+		if s.rng.Float64() >= env.FER {
 			s.stats.FramesDelivered++
 			s.stats.ModeFrames[mode]++
 			s.stats.PayloadBits += float64(8 * payloadLen)
 			s.nextSeq++
+			s.strikes = 0
+			if s.inOutage {
+				s.inOutage = false
+				s.stats.Outages++
+			}
 			s.trace(mode, rate, attempt+1, true)
 			s.maybeFallback(mode, rate)
 			return true, nil
@@ -384,7 +618,14 @@ func (s *Session) SendFrame(payloadLen int) (bool, error) {
 		s.stats.Retransmissions++
 	}
 	s.stats.FramesLost++
+	s.inOutage = true
 	s.trace(mode, rate, s.cfg.MaxRetries+1, false)
+	if mode == phy.ModeActive {
+		// The safety net itself is failing: burn a strike.
+		if ferr := s.strike(fmt.Errorf("mac: active mode lost a frame after %d attempts", s.cfg.MaxRetries+1)); ferr != nil {
+			return false, ferr
+		}
+	}
 	if err := s.fallback(); err != nil {
 		return false, err
 	}
@@ -406,7 +647,9 @@ func (s *Session) trace(mode phy.Mode, rate units.BitRate, attempts int, deliver
 		float64(tx), float64(rx), s.snrEWMA[mode])
 }
 
-// maybeFallback checks the estimator against the fallback margin.
+// maybeFallback checks the estimator against the fallback margin. A
+// fatal verdict (link dead after bounded attempts) is deferred to the
+// next SendFrame so the just-delivered frame still counts.
 func (s *Session) maybeFallback(mode phy.Mode, rate units.BitRate) {
 	if mode == phy.ModeActive {
 		return
@@ -415,9 +658,9 @@ func (s *Session) maybeFallback(mode phy.Mode, rate units.BitRate) {
 	// target; estimates below (requirement − margin) trigger fallback.
 	need := units.DBFromRatio(modem.SNRForBER(phy.SchemeAt(mode, rate), phy.RangeBERTarget))
 	if s.snrEWMA[mode] < float64(need)-float64(s.cfg.FallbackSNRMargin) {
-		// Ignore the error: if even active is gone we notice on the
-		// next SendFrame.
-		_ = s.fallback()
+		if err := s.fallback(); err != nil {
+			s.fatal = err
+		}
 	}
 }
 
