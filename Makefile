@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz bench repro csv examples clean
+.PHONY: all build test vet race fuzz bench bench-smoke repro csv examples clean
 
 all: build vet test
 
@@ -22,13 +22,23 @@ test: vet
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the frame codec (extend -fuzztime for deeper runs).
+# Short fuzz passes over the frame codec and the line-coding round trip
+# (extend -fuzztime for deeper runs).
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=10s ./internal/frame
+	$(GO) test -run=NONE -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/linecode
 
-# Regenerate every table and figure as testing.B benchmarks.
+# Run the root benchmark suite (paper tables/figures plus the waveform
+# engine and Monte Carlo sweeps), keep the raw text, and distill it into
+# the machine-readable perf record BENCH_pr3.json.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run=NONE -bench=. -benchmem . | tee bench_output.txt
+	$(GO) run ./cmd/braidio-bench -benchjson BENCH_pr3.json < bench_output.txt
+
+# Quick compile-and-run smoke over every benchmark in the repo (one
+# iteration each); CI runs this to keep benchmarks from bit-rotting.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Print every reproduced artifact to stdout.
 repro:

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	const sample = `goos: linux
+goarch: amd64
+pkg: braidio
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkWaveformFrame           	    9403	     26645 ns/op	   68160 B/op	       4 allocs/op
+BenchmarkWaveformFrameZeroAlloc-8	   12661	     19508 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAnalyticBER-8           	98765432	        12.5 ns/op
+PASS
+ok  	braidio	1.898s
+`
+	rec, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Goos != "linux" || rec.Goarch != "amd64" || !strings.Contains(rec.CPU, "Xeon") {
+		t.Errorf("context not captured: %+v", rec)
+	}
+	if len(rec.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(rec.Results))
+	}
+	r0 := rec.Results[0]
+	if r0.Name != "WaveformFrame" || r0.NsPerOp != 26645 || r0.BytesPerOp != 68160 || r0.AllocsPerOp != 4 {
+		t.Errorf("result 0 = %+v", r0)
+	}
+	if r1 := rec.Results[1]; r1.Name != "WaveformFrameZeroAlloc" || r1.AllocsPerOp != 0 {
+		t.Errorf("result 1 = %+v (GOMAXPROCS suffix must be stripped, zero allocs preserved)", r1)
+	}
+	if r2 := rec.Results[2]; r2.Name != "AnalyticBER" || r2.NsPerOp != 12.5 || r2.BytesPerOp != -1 || r2.AllocsPerOp != -1 {
+		t.Errorf("result 2 = %+v (missing -benchmem fields must be -1)", r2)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok braidio 1s\n")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -6,9 +6,13 @@
 //	braidio-bench                 # run everything
 //	braidio-bench -exp fig15,fig9 # run a subset
 //	braidio-bench -csv out/       # also write CSV files
+//	go test -bench=. -benchmem . | braidio-bench -benchjson BENCH.json
 //
 // Each experiment prints a structured report: the paper's claim, the
 // measured headline numbers, and the regenerated tables/curves/matrices.
+// The -benchjson mode instead parses `go test -bench` output on stdin
+// into a machine-readable JSON perf record (name, ns/op, allocs/op), the
+// format the repo's perf trajectory (BENCH_*.json) is tracked in.
 package main
 
 import (
@@ -26,7 +30,16 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 	csvDir := flag.String("csv", "", "also write CSV files to this directory")
 	stats := flag.Bool("stats", false, "print scheduling-layer cache statistics after the run")
+	benchJSON := flag.String("benchjson", "", "parse `go test -bench` output from stdin and write a JSON benchmark record to this file")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(os.Stdin, *benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "braidio-bench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

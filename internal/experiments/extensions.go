@@ -141,21 +141,27 @@ func ExtLineCode() (*Report, error) {
 		data = append(data, byte(i%2))
 	}
 
+	codes := []linecode.Code{linecode.NRZ, linecode.Manchester, linecode.FM0}
+	cfgs := make([]rxchain.CodedConfig, len(codes))
+	for i, code := range codes {
+		cfgs[i] = rxchain.DefaultCodedConfig(units.Rate100k, 5)
+		cfgs[i].Code = code
+	}
+	// Three independent coded chains over the same payload — run them on
+	// the shared pool.
+	results, err := rxchain.RunCodedAll(cfgs, data, 0, 0)
+	if err != nil {
+		return nil, err
+	}
 	rows := [][]string{}
-	for _, code := range []linecode.Code{linecode.NRZ, linecode.Manchester, linecode.FM0} {
-		cfg := rxchain.DefaultCodedConfig(units.Rate100k, 5)
-		cfg.Code = code
-		res, err := rxchain.RunCoded(cfg, data, 0)
-		if err != nil {
-			return nil, err
-		}
+	for i, code := range codes {
 		symbols := linecode.Encode(code, data)
 		rows = append(rows, []string{
 			code.String(),
 			fmt.Sprintf("%d", code.SymbolsPerBit()),
 			fmt.Sprintf("%d", linecode.MaxRunLength(symbols)),
 			fmt.Sprintf("%.3f", linecode.DCBalance(symbols)),
-			fmt.Sprintf("%.3g", res.BER()),
+			fmt.Sprintf("%.3g", results[i].BER()),
 		})
 	}
 	r.Tables = append(r.Tables, NamedTable{

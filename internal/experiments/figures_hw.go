@@ -6,6 +6,7 @@ import (
 
 	"braidio/internal/chargepump"
 	"braidio/internal/field"
+	"braidio/internal/par"
 	"braidio/internal/stats"
 )
 
@@ -60,12 +61,14 @@ func Fig4() (*Report, error) {
 	const n = 81
 	m := scene.FieldMap(0, 0, 2, 2, n, n)
 
-	// Render a coarse version of the map as a matrix.
+	// Render a coarse version of the map as a matrix. Rows are
+	// independent point evaluations of the immutable scene, so they fan
+	// out over the shared pool; each row writes only its own slot.
 	const coarse = 21
 	cells := make([][]float64, coarse)
 	rowLabels := make([]string, coarse)
 	colLabels := make([]string, coarse)
-	for i := 0; i < coarse; i++ {
+	par.For(0, coarse, func(i int) {
 		rowLabels[i] = fmt.Sprintf("%.1f", 2*float64(i)/float64(coarse-1))
 		colLabels[i] = rowLabels[i]
 		cells[i] = make([]float64, coarse)
@@ -74,7 +77,7 @@ func Fig4() (*Report, error) {
 			x := 2 * float64(j) / float64(coarse-1)
 			cells[i][j] = float64(scene.SNR(field.Vec2{X: x, Y: y}))
 		}
-	}
+	})
 	r.Matrices = append(r.Matrices, NamedMatrix{
 		Name: "Fig. 4(b): SNR map (dB)", RowLabels: rowLabels, ColLabels: colLabels,
 		Cells: cells, Format: "%.0f",
@@ -108,8 +111,13 @@ func Fig6() (*Report, error) {
 	scene := field.PaperScene()
 	start := field.Vec2{X: 1.0, Y: 0.8}
 	end := field.Vec2{X: 1.0, Y: 2.5}
-	without := scene.LineSweep(start, end, 3000, false)
-	with := scene.LineSweep(start, end, 3000, true)
+	// The two diversity settings are independent 3000-point sweeps of
+	// the immutable scene — one pool cell each.
+	sweeps := make([]stats.Series, 2)
+	par.For(0, 2, func(i int) {
+		sweeps[i] = scene.LineSweep(start, end, 3000, i == 1)
+	})
+	without, with := sweeps[0], sweeps[1]
 	// Re-base the X axis to absolute distance from the antennas.
 	for i := range without {
 		without[i].X += 0.3

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"braidio/internal/core"
+	"braidio/internal/par"
 	"braidio/internal/phy"
 	"braidio/internal/stats"
 	"braidio/internal/units"
@@ -66,11 +67,22 @@ func Fig12() (*Report, error) {
 		PaperClaim: "Braidio reaches 1.8 m vs the reader's 3 m (~40% less range) at 129 mW vs 640 mW (~5× less power)",
 	}
 	m := phy.NewModel()
-	var braidio, commercial stats.Series
-	for d := 0.2; d <= 4.0; d += 0.05 {
-		braidio = append(braidio, stats.Point{X: d, Y: logBER(m.BER(phy.ModeBackscatter, units.Rate100k, units.Meter(d)))})
-		commercial = append(commercial, stats.Point{X: d, Y: logBER(phy.CommercialReaderBER(units.Meter(d)))})
-	}
+	// The two receivers' curves are independent sweeps over the same
+	// distance grid — one pool cell each (the model and its link cache
+	// are safe for concurrent readers).
+	curves := make([]stats.Series, 2)
+	par.For(0, 2, func(c int) {
+		for d := 0.2; d <= 4.0; d += 0.05 {
+			var y float64
+			if c == 0 {
+				y = logBER(m.BER(phy.ModeBackscatter, units.Rate100k, units.Meter(d)))
+			} else {
+				y = logBER(phy.CommercialReaderBER(units.Meter(d)))
+			}
+			curves[c] = append(curves[c], stats.Point{X: d, Y: y})
+		}
+	})
+	braidio, commercial := curves[0], curves[1]
 	r.Series = append(r.Series,
 		NamedSeries{Name: "Braidio log10(BER) vs m", Data: braidio},
 		NamedSeries{Name: "AS3993 log10(BER) vs m", Data: commercial},
@@ -101,26 +113,42 @@ func Fig13() (*Report, error) {
 		PaperClaim: "ranges: backscatter 0.9/1.8/2.4 m, passive 3.9/4.2/5.1 m at 1M/100k/10k",
 	}
 	m := phy.NewModel()
-	rows := [][]string{}
+	// Six independent (mode, rate) cells; each sweeps its own distance
+	// grid and computes its own range. Fan out over the shared pool and
+	// assemble series and table rows in cell order afterwards.
+	type cell struct {
+		mode phy.Mode
+		rate units.BitRate
+		data stats.Series
+		rng  units.Meter
+	}
+	var specs []cell
 	for _, mode := range []phy.Mode{phy.ModeBackscatter, phy.ModePassive} {
+		for _, rate := range phy.Rates {
+			specs = append(specs, cell{mode: mode, rate: rate})
+		}
+	}
+	par.For(0, len(specs), func(i int) {
+		c := &specs[i]
 		maxD := 3.0
-		if mode == phy.ModePassive {
+		if c.mode == phy.ModePassive {
 			maxD = 6.0
 		}
-		for _, rate := range phy.Rates {
-			var s stats.Series
-			for d := 0.1; d <= maxD; d += 0.02 {
-				s = append(s, stats.Point{X: d, Y: logBER(m.BER(mode, rate, units.Meter(d)))})
-			}
-			r.Series = append(r.Series, NamedSeries{
-				Name: fmt.Sprintf("%v@%v log10(BER) vs m", mode, rate),
-				Data: s,
-			})
-			rows = append(rows, []string{
-				mode.String(), rate.String(),
-				fmt.Sprintf("%.2f m", float64(m.Range(mode, rate))),
-			})
+		for d := 0.1; d <= maxD; d += 0.02 {
+			c.data = append(c.data, stats.Point{X: d, Y: logBER(m.BER(c.mode, c.rate, units.Meter(d)))})
 		}
+		c.rng = m.Range(c.mode, c.rate)
+	})
+	rows := [][]string{}
+	for _, c := range specs {
+		r.Series = append(r.Series, NamedSeries{
+			Name: fmt.Sprintf("%v@%v log10(BER) vs m", c.mode, c.rate),
+			Data: c.data,
+		})
+		rows = append(rows, []string{
+			c.mode.String(), c.rate.String(),
+			fmt.Sprintf("%.2f m", float64(c.rng)),
+		})
 	}
 	r.Tables = append(r.Tables, NamedTable{
 		Name:   "operational ranges (BER < 1%)",

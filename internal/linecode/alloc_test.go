@@ -1,0 +1,27 @@
+//go:build !race
+
+package linecode
+
+import "testing"
+
+// TestAppendPathsZeroAlloc gates the Append hot paths: with grown
+// buffers, encode→decode round trips must not allocate. (Skipped under
+// the race detector, which instruments allocations.)
+func TestAppendPathsZeroAlloc(t *testing.T) {
+	bits := randomBits(512, 7)
+	for _, c := range []Code{NRZ, Manchester, FM0} {
+		symbols := make([]byte, 0, c.SymbolsPerBit()*len(bits))
+		decoded := make([]byte, 0, len(bits))
+		avg := testing.AllocsPerRun(100, func() {
+			symbols = EncodeAppend(symbols[:0], c, bits)
+			var err error
+			decoded, err = DecodeAppend(decoded[:0], c, symbols)
+			if err != nil || len(decoded) != len(bits) {
+				t.Fatal("round trip corrupted")
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%v: steady-state round trip allocates %v per op, want 0", c, avg)
+		}
+	}
+}

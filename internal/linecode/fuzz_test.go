@@ -1,0 +1,87 @@
+package linecode
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzCode maps an arbitrary selector byte onto one of the two
+// transition-guaranteed codes (NRZ round-trips trivially and is covered
+// by the property test).
+func fuzzCode(sel byte) Code {
+	if sel&1 == 0 {
+		return Manchester
+	}
+	return FM0
+}
+
+// FuzzRoundTrip drives Manchester/FM0 encode→decode with arbitrary
+// payloads: the round trip must be lossless and violation-free, the
+// Append variants must agree with the allocating ones, and the encoded
+// stream must honor the codes' run-length bound of 2 — the property
+// baseline wander depends on (§3.1).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(byte(0), []byte{})
+	f.Add(byte(0), []byte{1, 0, 1, 1, 0})
+	f.Add(byte(1), []byte{0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add(byte(1), bytes.Repeat([]byte{1}, 64))
+	f.Fuzz(func(t *testing.T, sel byte, raw []byte) {
+		c := fuzzCode(sel)
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		symbols := Encode(c, bits)
+		if len(symbols) != c.SymbolsPerBit()*len(bits) {
+			t.Fatalf("%v: %d symbols for %d bits", c, len(symbols), len(bits))
+		}
+		if got := EncodeAppend(nil, c, bits); !bytes.Equal(got, symbols) {
+			t.Fatalf("%v: EncodeAppend diverged from Encode", c)
+		}
+		if len(bits) > 0 && MaxRunLength(symbols) > 2 {
+			t.Fatalf("%v: run length %d > 2", c, MaxRunLength(symbols))
+		}
+		got, err := Decode(c, symbols)
+		if err != nil {
+			t.Fatalf("%v: clean stream rejected: %v", c, err)
+		}
+		if !bytes.Equal(got, bits) {
+			t.Fatalf("%v: round trip %v -> %v", c, bits, got)
+		}
+		got2, err := DecodeAppend(make([]byte, 0, len(bits)), c, symbols)
+		if err != nil || !bytes.Equal(got2, bits) {
+			t.Fatalf("%v: DecodeAppend round trip failed: %v %v", c, got2, err)
+		}
+	})
+}
+
+// FuzzDecodeArbitrary feeds arbitrary symbol streams to the decoders:
+// they must never panic, must only ever report ErrCodingViolation, and
+// must never decode more bits than the stream can carry.
+func FuzzDecodeArbitrary(f *testing.F) {
+	f.Add(byte(0), []byte{})
+	f.Add(byte(0), []byte{1, 1, 1, 1})
+	f.Add(byte(1), []byte{0, 0})
+	f.Add(byte(1), []byte{1, 0, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, sel byte, symbols []byte) {
+		c := fuzzCode(sel)
+		bits, err := Decode(c, symbols)
+		if err != nil && !errors.Is(err, ErrCodingViolation) {
+			t.Fatalf("%v: unexpected error type %v", c, err)
+		}
+		if len(bits) > len(symbols)/c.SymbolsPerBit() {
+			t.Fatalf("%v: %d bits out of %d symbols", c, len(bits), len(symbols))
+		}
+		// A stream the decoder accepts must re-encode to the same
+		// levels (decode is the inverse of encode on valid streams).
+		if err == nil && len(symbols) > 0 {
+			re := Encode(c, bits)
+			for i := range re {
+				if re[i] != symbols[i]&1 {
+					t.Fatalf("%v: accepted stream is not an encoding fixpoint at symbol %d", c, i)
+				}
+			}
+		}
+	})
+}

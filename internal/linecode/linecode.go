@@ -56,25 +56,30 @@ func (c Code) Rate() float64 { return 1 / float64(c.SymbolsPerBit()) }
 // Encode expands bits (0/1 bytes) into channel symbols (0/1 levels).
 // FM0 encoding is stateful across the stream, starting from level 1.
 func Encode(c Code, bits []byte) []byte {
+	return EncodeAppend(make([]byte, 0, c.SymbolsPerBit()*len(bits)), c, bits)
+}
+
+// EncodeAppend appends the channel symbols for bits to dst and returns
+// the extended slice, à la strconv.AppendInt: when dst has capacity for
+// the c.SymbolsPerBit()*len(bits) new symbols, no allocation happens.
+// Pass dst[:0] to reuse a frame buffer across calls.
+func EncodeAppend(dst []byte, c Code, bits []byte) []byte {
 	switch c {
 	case NRZ:
-		out := make([]byte, len(bits))
-		for i, b := range bits {
-			out[i] = b & 1
+		for _, b := range bits {
+			dst = append(dst, b&1)
 		}
-		return out
+		return dst
 	case Manchester:
-		out := make([]byte, 0, 2*len(bits))
 		for _, b := range bits {
 			if b&1 == 1 {
-				out = append(out, 1, 0)
+				dst = append(dst, 1, 0)
 			} else {
-				out = append(out, 0, 1)
+				dst = append(dst, 0, 1)
 			}
 		}
-		return out
+		return dst
 	case FM0:
-		out := make([]byte, 0, 2*len(bits))
 		level := byte(1)
 		for _, b := range bits {
 			// Invert at the bit boundary.
@@ -86,9 +91,9 @@ func Encode(c Code, bits []byte) []byte {
 				second = level ^ 1
 				level = second
 			}
-			out = append(out, first, second)
+			dst = append(dst, first, second)
 		}
-		return out
+		return dst
 	default:
 		panic(fmt.Sprintf("linecode: unknown code %d", int(c)))
 	}
@@ -103,52 +108,58 @@ var ErrCodingViolation = errors.New("linecode: coding violation")
 // — the violation detection is itself an error-detection mechanism the
 // envelope link gets for free.
 func Decode(c Code, symbols []byte) ([]byte, error) {
+	return DecodeAppend(make([]byte, 0, len(symbols)/c.SymbolsPerBit()+1), c, symbols)
+}
+
+// DecodeAppend appends the decoded bits to dst and returns the extended
+// slice; a coding violation returns dst plus the bits decoded before the
+// violation, alongside ErrCodingViolation, matching Decode. When dst has
+// capacity for the decoded bits, no allocation happens (violation error
+// construction aside — errors are off the hot path by definition).
+func DecodeAppend(dst []byte, c Code, symbols []byte) ([]byte, error) {
 	switch c {
 	case NRZ:
-		out := make([]byte, len(symbols))
-		for i, s := range symbols {
-			out[i] = s & 1
+		for _, s := range symbols {
+			dst = append(dst, s&1)
 		}
-		return out, nil
+		return dst, nil
 	case Manchester:
 		if len(symbols)%2 != 0 {
-			return nil, fmt.Errorf("%w: odd symbol count", ErrCodingViolation)
+			return dst, fmt.Errorf("%w: odd symbol count", ErrCodingViolation)
 		}
-		out := make([]byte, 0, len(symbols)/2)
 		for i := 0; i < len(symbols); i += 2 {
 			a, b := symbols[i]&1, symbols[i+1]&1
 			switch {
 			case a == 1 && b == 0:
-				out = append(out, 1)
+				dst = append(dst, 1)
 			case a == 0 && b == 1:
-				out = append(out, 0)
+				dst = append(dst, 0)
 			default:
-				return out, fmt.Errorf("%w: symbols %d%d at bit %d", ErrCodingViolation, a, b, i/2)
+				return dst, fmt.Errorf("%w: symbols %d%d at bit %d", ErrCodingViolation, a, b, i/2)
 			}
 		}
-		return out, nil
+		return dst, nil
 	case FM0:
 		if len(symbols)%2 != 0 {
-			return nil, fmt.Errorf("%w: odd symbol count", ErrCodingViolation)
+			return dst, fmt.Errorf("%w: odd symbol count", ErrCodingViolation)
 		}
-		out := make([]byte, 0, len(symbols)/2)
 		level := byte(1)
 		for i := 0; i < len(symbols); i += 2 {
 			a, b := symbols[i]&1, symbols[i+1]&1
 			// A valid FM0 bit starts by inverting the previous level.
 			if a == level {
-				return out, fmt.Errorf("%w: missing boundary inversion at bit %d", ErrCodingViolation, i/2)
+				return dst, fmt.Errorf("%w: missing boundary inversion at bit %d", ErrCodingViolation, i/2)
 			}
 			switch {
 			case b == a:
-				out = append(out, 1)
+				dst = append(dst, 1)
 				level = b
 			default:
-				out = append(out, 0)
+				dst = append(dst, 0)
 				level = b
 			}
 		}
-		return out, nil
+		return dst, nil
 	default:
 		panic(fmt.Sprintf("linecode: unknown code %d", int(c)))
 	}

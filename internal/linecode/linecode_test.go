@@ -178,3 +178,71 @@ func TestMaxRunLengthEdge(t *testing.T) {
 		t.Error("single symbol run length not 1")
 	}
 }
+
+// TestAppendVariantsMatch: EncodeAppend/DecodeAppend agree with
+// Encode/Decode and honor append semantics (prefix preserved, capacity
+// reused).
+func TestAppendVariantsMatch(t *testing.T) {
+	bits := []byte{1, 0, 0, 1, 1, 1, 0, 1, 0, 0}
+	for _, c := range []Code{NRZ, Manchester, FM0} {
+		want := Encode(c, bits)
+		buf := make([]byte, 0, 2*len(bits)+3)
+		buf = append(buf, 9, 9, 9) // pre-existing prefix must survive
+		got := EncodeAppend(buf, c, bits)
+		if !bytes.Equal(got[:3], []byte{9, 9, 9}) {
+			t.Fatalf("%v: EncodeAppend clobbered the prefix", c)
+		}
+		if !bytes.Equal(got[3:], want) {
+			t.Fatalf("%v: EncodeAppend %v, want %v", c, got[3:], want)
+		}
+		if &got[0] != &buf[0] {
+			t.Errorf("%v: EncodeAppend reallocated despite capacity", c)
+		}
+
+		wantBits, wantErr := Decode(c, want)
+		decBuf := make([]byte, 0, len(bits))
+		gotBits, gotErr := DecodeAppend(decBuf, c, want)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%v: error mismatch %v vs %v", c, gotErr, wantErr)
+		}
+		if !bytes.Equal(gotBits, wantBits) {
+			t.Fatalf("%v: DecodeAppend %v, want %v", c, gotBits, wantBits)
+		}
+		if len(gotBits) > 0 && &gotBits[0] != &decBuf[:1][0] {
+			t.Errorf("%v: DecodeAppend reallocated despite capacity", c)
+		}
+	}
+}
+
+// TestDecodeAppendViolationKeepsPrefix: on a coding violation the
+// returned slice still starts with the caller's prefix plus the bits
+// decoded before the violation, mirroring Decode's partial-result
+// contract.
+func TestDecodeAppendViolationKeepsPrefix(t *testing.T) {
+	syms := Encode(Manchester, []byte{1, 1, 0})
+	syms[4], syms[5] = 1, 1 // violation at bit 2
+	prefix := []byte{7}
+	got, err := DecodeAppend(append([]byte{}, prefix...), Manchester, syms)
+	if !errors.Is(err, ErrCodingViolation) {
+		t.Fatalf("error = %v, want coding violation", err)
+	}
+	if !bytes.Equal(got, []byte{7, 1, 1}) {
+		t.Fatalf("partial decode %v, want prefix + 2 good bits", got)
+	}
+	// Odd symbol counts are rejected before any decoding.
+	if got, err := DecodeAppend(prefix, FM0, []byte{1}); !errors.Is(err, ErrCodingViolation) || !bytes.Equal(got, prefix) {
+		t.Fatalf("odd count: got %v err %v", got, err)
+	}
+}
+
+// TestNRZDecodeMasksLevels: NRZ decode reduces arbitrary symbol bytes to
+// their level bit, matching the historical contract.
+func TestNRZDecodeMasksLevels(t *testing.T) {
+	got, err := Decode(NRZ, []byte{0, 1, 2, 255})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 1, 0, 1}) {
+		t.Fatalf("NRZ decode %v, want masked levels", got)
+	}
+}

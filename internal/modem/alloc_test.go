@@ -1,0 +1,42 @@
+//go:build !race
+
+package modem
+
+import (
+	"testing"
+
+	"braidio/internal/rng"
+)
+
+// TestFramePathZeroAlloc is the allocation-regression gate for the
+// frame-level hot path: once the reusable buffers have grown, a full
+// modulate→add-noise→detect cycle must allocate nothing. (Skipped under
+// the race detector, which instruments allocations; the race gate runs
+// the same code via the ordinary tests.)
+func TestFramePathZeroAlloc(t *testing.T) {
+	r := rng.New(1)
+	bits := make([]byte, 512)
+	for i := range bits {
+		bits[i] = r.Bit()
+	}
+	var wave []float64
+	var det []byte
+	// Prime the buffers outside the measured region.
+	wave = OOKWaveformInto(wave, bits, 8, 0, 1)
+	det, _ = DetectOOKInto(det, wave, 8, 0, 1)
+
+	avg := testing.AllocsPerRun(100, func() {
+		wave = OOKWaveformInto(wave, bits, 8, 0, 1)
+		for i := range wave {
+			wave[i] += 0.05 * r.Norm()
+		}
+		var consumed int
+		det, consumed = DetectOOKInto(det, wave, 8, 0, 1)
+		if consumed != len(wave) || len(det) != len(bits) {
+			t.Fatal("frame path corrupted")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state frame path allocates %v per op, want 0", avg)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"braidio/internal/par"
 	"braidio/internal/rng"
 	"braidio/internal/units"
 )
@@ -123,42 +124,79 @@ func SNRForBER(s Scheme, target float64) float64 {
 // samples per bit and high/low levels (e.g. the two reflection states of
 // the RF transistor).
 func OOKWaveform(bits []byte, samplesPerBit int, low, high float64) []float64 {
+	return OOKWaveformInto(nil, bits, samplesPerBit, low, high)
+}
+
+// OOKWaveformInto is OOKWaveform writing into dst's storage: the result
+// reuses dst's capacity when it suffices (zero allocations steady-state)
+// and is freshly allocated otherwise. Pass the previous return value back
+// in to amortize the buffer across frames.
+func OOKWaveformInto(dst []float64, bits []byte, samplesPerBit int, low, high float64) []float64 {
 	if samplesPerBit < 1 {
 		panic("modem: samplesPerBit must be ≥ 1")
 	}
-	out := make([]float64, 0, len(bits)*samplesPerBit)
-	for _, b := range bits {
+	n := len(bits) * samplesPerBit
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i, b := range bits {
 		level := low
 		if b != 0 {
 			level = high
 		}
-		for s := 0; s < samplesPerBit; s++ {
-			out = append(out, level)
+		period := dst[i*samplesPerBit : (i+1)*samplesPerBit]
+		for s := range period {
+			period[s] = level
 		}
 	}
-	return out
+	return dst
 }
 
 // DetectOOK integrates each bit period of a (possibly noisy) envelope
 // waveform and slices against the midpoint threshold, returning the
 // recovered bits.
+//
+// Truncation contract: only complete bit periods are decoded. A trailing
+// partial period (the last len(wave) % samplesPerBit samples) carries no
+// decidable bit and is silently discarded; callers that need to resume
+// mid-stream should use DetectOOKInto, which reports how many samples
+// were consumed so the remainder can be carried into the next call.
 func DetectOOK(wave []float64, samplesPerBit int, low, high float64) []byte {
+	bits, _ := DetectOOKInto(nil, wave, samplesPerBit, low, high)
+	return bits
+}
+
+// DetectOOKInto is DetectOOK writing into dst's storage, returning the
+// recovered bits and the number of samples consumed (always a multiple
+// of samplesPerBit; the unconsumed tail wave[consumed:] is a partial bit
+// period awaiting more samples). The result reuses dst's capacity when
+// it suffices and is freshly allocated otherwise.
+func DetectOOKInto(dst []byte, wave []float64, samplesPerBit int, low, high float64) (bits []byte, consumed int) {
 	if samplesPerBit < 1 {
 		panic("modem: samplesPerBit must be ≥ 1")
 	}
 	n := len(wave) / samplesPerBit
 	threshold := (low + high) / 2
-	bits := make([]byte, n)
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	} else {
+		dst = dst[:n]
+	}
 	for i := 0; i < n; i++ {
+		period := wave[i*samplesPerBit : (i+1)*samplesPerBit]
 		sum := 0.0
-		for s := 0; s < samplesPerBit; s++ {
-			sum += wave[i*samplesPerBit+s]
+		for _, v := range period {
+			sum += v
 		}
 		if sum/float64(samplesPerBit) > threshold {
-			bits[i] = 1
+			dst[i] = 1
+		} else {
+			dst[i] = 0
 		}
 	}
-	return bits
+	return dst, n * samplesPerBit
 }
 
 // MonteCarloBER estimates the OOK envelope-detection error rate at a
@@ -167,6 +205,14 @@ func DetectOOK(wave []float64, samplesPerBit int, low, high float64) []byte {
 // integration. It exists to validate the analytic model; agreement within
 // a factor of ~2 in the 1e-1..1e-4 regime is expected for the simplified
 // detector.
+//
+// The n bits are drawn in fixed 64 Ki shards, shard i from the i-th
+// Jump-chained substream of the passed stream's current state — exactly
+// the layout MonteCarloBERParallel uses — so the sequential and parallel
+// estimators are bit-identical: MonteCarloBER(s, snr, n, rng.New(seed))
+// == MonteCarloBERParallel(s, snr, n, seed, w) for every worker count w.
+// The stream is advanced by one Jump (2^128 steps) per shard, so
+// successive calls on one stream still draw disjoint sequences.
 func MonteCarloBER(s Scheme, snr float64, n int, stream *rng.Stream) float64 {
 	if n <= 0 {
 		panic("modem: non-positive sample count")
@@ -177,6 +223,29 @@ func MonteCarloBER(s Scheme, snr float64, n int, stream *rng.Stream) float64 {
 	if snr <= 0 {
 		return 0.5
 	}
+	shards := (n + mcShardBits - 1) / mcShardBits
+	total := 0
+	for i := 0; i < shards; i++ {
+		size := mcShardBits
+		if i == shards-1 {
+			size = n - (shards-1)*mcShardBits
+		}
+		// Stack copy of the shard's substream start state; the original
+		// jumps past it, mirroring rng.Substreams' Clone-then-Jump chain
+		// without allocating.
+		sub := *stream
+		total += monteCarloErrors(s, snr, size, &sub)
+		stream.Jump()
+	}
+	return float64(total) / float64(n)
+}
+
+// monteCarloErrors simulates n bits through the scheme's envelope/noise
+// channel on the given stream and returns the error count. It is the
+// shared core of the sequential MonteCarloBER and the sharded
+// MonteCarloBERParallel; the draw sequence per (scheme, n, stream) is
+// part of the golden contract.
+func monteCarloErrors(s Scheme, snr float64, n int, stream *rng.Stream) int {
 	errs := 0
 	switch s {
 	case OOKNonCoherent:
@@ -231,7 +300,56 @@ func MonteCarloBER(s Scheme, snr float64, n int, stream *rng.Stream) float64 {
 	default:
 		panic(fmt.Sprintf("modem: unknown scheme %d", int(s)))
 	}
-	return float64(errs) / float64(n)
+	return errs
+}
+
+// mcShardBits is the fixed Monte-Carlo shard size. The shard layout for
+// n bits — how many shards, each shard's size, and each shard's rng
+// substream — is a pure function of (n, seed), never of the worker
+// count, so a sweep's result is byte-identical whether it runs on one
+// core or sixty-four. 64 Ki bits per shard keeps per-shard dispatch
+// overhead ≪ 1% while still splitting the experiment-sized runs
+// (400k–1M bits) into enough pieces to load every core.
+const mcShardBits = 1 << 16
+
+// MonteCarloBERParallel estimates the same error rate as MonteCarloBER
+// but shards the n bits over a GOMAXPROCS-bounded worker pool (workers
+// <= 0 selects GOMAXPROCS). Each shard draws from its own rng substream
+// (rng.Substreams: 2^128-step Jump offsets of the seed, the
+// reader-side sharding discipline of the WISP/backscatter simulators),
+// and shard error counts merge in index order. The result is a
+// deterministic function of (s, snr, n, seed) alone, byte-identical to
+// the sequential MonteCarloBER(s, snr, n, rng.New(seed)) — the golden
+// bit-identity test pins the sequential path against every worker
+// count.
+func MonteCarloBERParallel(s Scheme, snr float64, n int, seed uint64, workers int) float64 {
+	if n <= 0 {
+		panic("modem: non-positive sample count")
+	}
+	switch s {
+	case OOKNonCoherent, FSKNonCoherent, PSKCoherent:
+	default:
+		// Reject on the caller's goroutine, not inside a worker.
+		panic(fmt.Sprintf("modem: unknown scheme %d", int(s)))
+	}
+	if snr <= 0 {
+		return 0.5
+	}
+	shards := (n + mcShardBits - 1) / mcShardBits
+	streams := rng.Substreams(seed, shards)
+	errs := make([]int, shards)
+	par.For(workers, shards, func(i int) {
+		size := mcShardBits
+		if i == shards-1 {
+			size = n - (shards-1)*mcShardBits
+		}
+		errs[i] = monteCarloErrors(s, snr, size, streams[i])
+	})
+	total := 0
+	for _, e := range errs {
+		total += e
+	}
+	return float64(total) / float64(n)
 }
 
 // SchemeForMode returns the detection scheme each Braidio mode uses:

@@ -255,3 +255,169 @@ func TestQAM16(t *testing.T) {
 		t.Errorf("zero-SNR BER = %v", got)
 	}
 }
+
+// TestDetectOOKTruncatesPartialBit pins the truncation contract: a
+// trailing partial bit period decodes no bit, and DetectOOKInto reports
+// exactly the whole-period sample count as consumed.
+func TestDetectOOKTruncatesPartialBit(t *testing.T) {
+	bits := []byte{1, 0, 1}
+	wave := OOKWaveform(bits, 8, 0, 1)
+	// Append 5 samples of a fourth, partial bit period.
+	partial := append(append([]float64{}, wave...), 1, 1, 1, 1, 1)
+	got := DetectOOK(partial, 8, 0, 1)
+	if len(got) != len(bits) {
+		t.Fatalf("decoded %d bits from %d samples, want %d (partial period discarded)", len(got), len(partial), len(bits))
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d corrupted", i)
+		}
+	}
+	dec, consumed := DetectOOKInto(nil, partial, 8, 0, 1)
+	if consumed != len(bits)*8 {
+		t.Errorf("consumed %d samples, want %d", consumed, len(bits)*8)
+	}
+	if len(partial)-consumed != 5 {
+		t.Errorf("unconsumed tail %d samples, want the 5 partial-period samples", len(partial)-consumed)
+	}
+	if len(dec) != len(bits) {
+		t.Errorf("DetectOOKInto decoded %d bits, want %d", len(dec), len(bits))
+	}
+	// An exact multiple consumes everything.
+	if _, consumed := DetectOOKInto(nil, wave, 8, 0, 1); consumed != len(wave) {
+		t.Errorf("full periods: consumed %d of %d", consumed, len(wave))
+	}
+	// Fewer samples than one period: nothing decoded, nothing consumed.
+	if dec, consumed := DetectOOKInto(nil, wave[:7], 8, 0, 1); len(dec) != 0 || consumed != 0 {
+		t.Errorf("sub-period input decoded %d bits, consumed %d", len(dec), consumed)
+	}
+}
+
+// TestIntoVariantsMatchAndReuse: the Into variants produce identical
+// results to the allocating functions and reuse caller buffers.
+func TestIntoVariantsMatchAndReuse(t *testing.T) {
+	r := rng.New(3)
+	bits := make([]byte, 257)
+	for i := range bits {
+		bits[i] = r.Bit()
+	}
+	want := OOKWaveform(bits, 8, 0.1, 0.9)
+	waveBuf := make([]float64, 0, len(bits)*8)
+	got := OOKWaveformInto(waveBuf, bits, 8, 0.1, 0.9)
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	if &got[0] != &waveBuf[:1][0] {
+		t.Error("OOKWaveformInto did not reuse the caller's buffer")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	for i := range got {
+		got[i] += 0.02 * r.Norm()
+	}
+	wantBits := DetectOOK(got, 8, 0.1, 0.9)
+	bitBuf := make([]byte, 0, len(bits))
+	gotBits, consumed := DetectOOKInto(bitBuf, got, 8, 0.1, 0.9)
+	if consumed != len(got) {
+		t.Fatalf("consumed %d of %d", consumed, len(got))
+	}
+	if len(gotBits) != len(wantBits) {
+		t.Fatalf("bit count %d vs %d", len(gotBits), len(wantBits))
+	}
+	if &gotBits[0] != &bitBuf[:1][0] {
+		t.Error("DetectOOKInto did not reuse the caller's buffer")
+	}
+	for i := range wantBits {
+		if gotBits[i] != wantBits[i] {
+			t.Fatalf("bit %d differs", i)
+		}
+	}
+}
+
+// TestMonteCarloBERParallelBitIdentical is the golden bit-identity test
+// for the sharded sweep: any worker count must reproduce the sequential
+// MonteCarloBER result exactly, for sizes below, at, and straddling
+// shard boundaries.
+func TestMonteCarloBERParallelBitIdentical(t *testing.T) {
+	for _, s := range []Scheme{OOKNonCoherent, FSKNonCoherent, PSKCoherent} {
+		for _, n := range []int{100, 65536, 65537, 200001} {
+			want := MonteCarloBER(s, 8, n, rng.New(77))
+			if got := MonteCarloBERParallel(s, 8, n, 77, 1); got != want {
+				t.Fatalf("%v n=%d: workers=1 gave %v, sequential gave %v", s, n, got, want)
+			}
+			for _, workers := range []int{2, 3, 7, 16, 0} {
+				if got := MonteCarloBERParallel(s, 8, n, 77, workers); got != want {
+					t.Fatalf("%v n=%d: workers=%d gave %v, workers=1 gave %v", s, n, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMonteCarloBERParallelMatchesShardLoop pins the shard layout
+// itself: the parallel result equals summing monteCarloErrors over
+// explicit 64 Ki shards drawn from rng.Substreams in index order.
+func TestMonteCarloBERParallelMatchesShardLoop(t *testing.T) {
+	const n, seed = 150000, 12345
+	streams := rng.Substreams(seed, 3) // ceil(150000/65536) = 3 shards
+	errs := 0
+	for i, size := range []int{65536, 65536, n - 2*65536} {
+		errs += monteCarloErrors(OOKNonCoherent, 9, size, streams[i])
+	}
+	want := float64(errs) / float64(n)
+	if got := MonteCarloBERParallel(OOKNonCoherent, 9, n, seed, 4); got != want {
+		t.Fatalf("parallel %v vs explicit shard loop %v", got, want)
+	}
+}
+
+func TestMonteCarloBERParallelValidatesAnalytic(t *testing.T) {
+	for _, s := range []Scheme{OOKNonCoherent, FSKNonCoherent, PSKCoherent} {
+		for _, snr := range []float64{6, 10} {
+			analytic := BER(s, snr)
+			if analytic < 5e-5 {
+				continue
+			}
+			mc := MonteCarloBERParallel(s, snr, 400000, 99, 0)
+			if ratio := mc / analytic; ratio < 0.3 || ratio > 3 {
+				t.Errorf("%v snr=%v: parallel Monte-Carlo %v vs analytic %v", s, snr, mc, analytic)
+			}
+		}
+	}
+}
+
+func TestMonteCarloBERParallelEdges(t *testing.T) {
+	if got := MonteCarloBERParallel(OOKNonCoherent, 0, 100, 1, 4); got != 0.5 {
+		t.Errorf("zero SNR = %v, want 0.5", got)
+	}
+	for name, f := range map[string]func(){
+		"n=0":        func() { MonteCarloBERParallel(OOKNonCoherent, 1, 0, 1, 4) },
+		"bad scheme": func() { MonteCarloBERParallel(Scheme(99), 1, 10, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkMonteCarloBERSequential1M(b *testing.B) {
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MonteCarloBER(OOKNonCoherent, 10, 1_000_000, r)
+	}
+}
+
+func BenchmarkMonteCarloBERParallel1M(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MonteCarloBERParallel(OOKNonCoherent, 10, 1_000_000, 1, 0)
+	}
+}

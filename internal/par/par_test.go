@@ -1,0 +1,59 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 16, 100} {
+		const n = 257
+		var hits [n]atomic.Int32
+		For(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	called := false
+	For(4, 0, func(int) { called = true })
+	For(4, -3, func(int) { called = true })
+	if called {
+		t.Error("f called for empty range")
+	}
+}
+
+func TestForErrJoinsInIndexOrder(t *testing.T) {
+	sentinel := errors.New("cell failed")
+	for _, workers := range []int{1, 4} {
+		err := ForErr(workers, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("%w: index %d", sentinel, i)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: error %v does not wrap sentinel", workers, err)
+		}
+		// Index-ordered join: the message lists 3 before 7.
+		want := "cell failed: index 3\ncell failed: index 7"
+		if err.Error() != want {
+			t.Fatalf("workers=%d: error %q, want %q", workers, err.Error(), want)
+		}
+	}
+}
+
+func TestForErrNil(t *testing.T) {
+	if err := ForErr(4, 8, func(int) error { return nil }); err != nil {
+		t.Fatalf("all-nil sweep returned %v", err)
+	}
+	if err := ForErr(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("empty sweep returned %v", err)
+	}
+}

@@ -34,16 +34,34 @@ func splitMix64(state *uint64) uint64 {
 // statistically independent streams.
 func New(seed uint64) *Stream {
 	var st Stream
+	st.Reseed(seed)
+	return &st
+}
+
+// Reseed reinitializes the stream in place to the state New(seed) would
+// produce, discarding any cached Box-Muller variate. It exists so hot
+// paths (rxchain.Runner, Monte-Carlo shards) can reuse one Stream value
+// across runs without allocating; New(seed) and Reseed(seed) yield
+// byte-identical sequences.
+func (r *Stream) Reseed(seed uint64) {
 	sm := seed
-	for i := range st.s {
-		st.s[i] = splitMix64(&sm)
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
 	}
 	// xoshiro256** requires a nonzero state; SplitMix64 guarantees that
 	// at least one word is nonzero for any seed, but be defensive.
-	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
-		st.s[0] = 1
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
 	}
-	return &st
+	r.gauss = 0
+	r.hasGauss = false
+}
+
+// Clone returns an independent copy of the stream: both produce the same
+// future sequence and then diverge as they are advanced separately.
+func (r *Stream) Clone() *Stream {
+	c := *r
+	return &c
 }
 
 // Split derives a new independent Stream from this one. The child's seed
@@ -172,4 +190,23 @@ func (r *Stream) Jump() {
 	}
 	r.s = s
 	r.hasGauss = false
+}
+
+// Substreams carves one seed into n parallel streams by chaining Jump:
+// stream i starts 2^128 × i steps into New(seed)'s sequence, so the
+// streams are pairwise non-overlapping for at least 2^128 draws each.
+// The layout depends only on (seed, n) — never on how many goroutines
+// later consume the streams — which is what makes sharded Monte-Carlo
+// sweeps bit-identical at any worker count.
+func Substreams(seed uint64, n int) []*Stream {
+	if n < 0 {
+		panic("rng: negative substream count")
+	}
+	out := make([]*Stream, n)
+	cur := New(seed)
+	for i := range out {
+		out[i] = cur.Clone()
+		cur.Jump()
+	}
+	return out
 }

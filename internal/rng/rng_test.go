@@ -240,3 +240,95 @@ func TestJumpClearsGaussianCache(t *testing.T) {
 		t.Error("gaussian cache survived Jump; the cached variate belongs to the pre-jump stream")
 	}
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	r := New(1)
+	_ = r.Norm() // prime the Box-Muller cache so Reseed must clear it
+	for i := 0; i < 100; i++ {
+		_ = r.Uint64()
+	}
+	r.Reseed(42)
+	fresh := New(42)
+	for i := 0; i < 200; i++ {
+		if r.Uint64() != fresh.Uint64() {
+			t.Fatalf("Reseed(42) diverged from New(42) at draw %d", i)
+		}
+		if r.Norm() != fresh.Norm() {
+			t.Fatalf("Reseed(42) normal sequence diverged at draw %d", i)
+		}
+	}
+}
+
+func TestCloneSharesFuture(t *testing.T) {
+	a := New(7)
+	for i := 0; i < 10; i++ {
+		_ = a.Uint64()
+	}
+	b := a.Clone()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("clone diverged at draw %d", i)
+		}
+	}
+	// Advancing one must not affect the other.
+	_ = a.Uint64()
+	c := a.Clone()
+	_ = a.Uint64()
+	if a.Uint64() == c.Uint64() {
+		t.Error("original and stale clone should have diverged")
+	}
+}
+
+func TestSubstreamsDeterministicAndDisjoint(t *testing.T) {
+	a := Substreams(9, 4)
+	b := Substreams(9, 4)
+	for i := range a {
+		for k := 0; k < 50; k++ {
+			if a[i].Uint64() != b[i].Uint64() {
+				t.Fatalf("substream %d not deterministic at draw %d", i, k)
+			}
+		}
+	}
+	// Pairwise disjoint prefixes (2^128-jump offsets cannot collide in
+	// any observable prefix).
+	streams := Substreams(9, 3)
+	var draws [3][]uint64
+	for i, s := range streams {
+		for k := 0; k < 500; k++ {
+			draws[i] = append(draws[i], s.Uint64())
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			same := 0
+			for k := range draws[i] {
+				if draws[i][k] == draws[j][k] {
+					same++
+				}
+			}
+			if same > 0 {
+				t.Errorf("substreams %d and %d collide on %d/500 draws", i, j, same)
+			}
+		}
+	}
+	// Substream 0 is the seed stream itself.
+	s0 := Substreams(11, 1)[0]
+	ref := New(11)
+	for k := 0; k < 100; k++ {
+		if s0.Uint64() != ref.Uint64() {
+			t.Fatal("substream 0 should equal New(seed)")
+		}
+	}
+	if got := Substreams(5, 0); len(got) != 0 {
+		t.Errorf("zero substreams returned %d", len(got))
+	}
+}
+
+func TestSubstreamsNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative count did not panic")
+		}
+	}()
+	Substreams(1, -1)
+}

@@ -1,0 +1,44 @@
+//go:build !race
+
+package rxchain
+
+import (
+	"testing"
+
+	"braidio/internal/units"
+)
+
+// TestRunnerZeroAlloc gates the pooled waveform engine: after the first
+// (buffer-growing) run, Runner.Run and Runner.RunCoded must allocate
+// nothing per run. (Skipped under the race detector, which instruments
+// allocations; the race gate covers the same code through the ordinary
+// tests.)
+func TestRunnerZeroAlloc(t *testing.T) {
+	ru := NewRunner()
+	cfg := DefaultConfig(units.Rate100k, 1)
+	var res Result
+	if err := ru.Run(cfg, 500, &res); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if err := ru.Run(cfg, 500, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Runner.Run allocates %v per run, want 0", avg)
+	}
+
+	coded := DefaultCodedConfig(units.Rate100k, 2)
+	if err := ru.RunCoded(coded, nil, 400, &res); err != nil {
+		t.Fatal(err)
+	}
+	avg = testing.AllocsPerRun(20, func() {
+		if err := ru.RunCoded(coded, nil, 400, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Runner.RunCoded allocates %v per run, want 0", avg)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"math"
 
 	"braidio/internal/linecode"
-	"braidio/internal/rng"
 	"braidio/internal/units"
 )
 
@@ -34,26 +33,45 @@ func DefaultCodedConfig(rate units.BitRate, seed uint64) CodedConfig {
 // the chain with the configured line code. The symbol rate is the bit
 // rate times the code's expansion, keeping the information rate fixed;
 // the detector integrates per symbol and the decoder maps symbols back
-// to bits, counting coding violations as bit errors.
+// to bits, counting coding violations as bit errors. It is the
+// allocating convenience wrapper around Runner.RunCoded.
 func RunCoded(cfg CodedConfig, data []byte, n int) (*Result, error) {
+	res := new(Result)
+	if err := NewRunner().RunCoded(cfg, data, n, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunCoded is the zero-allocation equivalent of the package-level
+// RunCoded: payload, symbol, decision, and decode buffers all come from
+// the Runner's reusable scratch, and *res is overwritten with the
+// result. The computation — including the draw sequence when data is
+// nil — is byte-identical to the package-level function's.
+func (ru *Runner) RunCoded(cfg CodedConfig, data []byte, n int, res *Result) error {
 	if data == nil {
 		if n <= 0 {
-			return nil, errors.New("rxchain: need bits")
+			return errors.New("rxchain: need bits")
 		}
-		stream := rng.New(cfg.Seed ^ 0x5eed)
-		data = make([]byte, n)
-		for i := range data {
-			data[i] = stream.Bit()
+		// The payload stream is independent of the noise stream (seed ^
+		// 0x5eed) and fully consumed before the noise stream starts, so
+		// one reseeded Stream serves both roles.
+		ru.stream.Reseed(cfg.Seed ^ 0x5eed)
+		ru.payload = growBytes(ru.payload, n)
+		for i := range ru.payload {
+			ru.payload[i] = ru.stream.Bit()
 		}
+		data = ru.payload
 	}
 	if cfg.SamplesPerBit < 4 {
-		return nil, fmt.Errorf("rxchain: %d samples/symbol is too coarse", cfg.SamplesPerBit)
+		return fmt.Errorf("rxchain: %d samples/symbol is too coarse", cfg.SamplesPerBit)
 	}
 	if cfg.Rate <= 0 || cfg.SignalAmplitude <= 0 || cfg.NoiseRMS < 0 {
-		return nil, fmt.Errorf("rxchain: invalid config")
+		return fmt.Errorf("rxchain: invalid config")
 	}
 
-	symbols := linecode.Encode(cfg.Code, data)
+	ru.symbols = linecode.EncodeAppend(ru.symbols[:0], cfg.Code, data)
+	symbols := ru.symbols
 	spb := cfg.Code.SymbolsPerBit()
 	symbolRate := float64(cfg.Rate) * float64(spb)
 	dt := 1 / (symbolRate * float64(cfg.SamplesPerBit))
@@ -64,14 +82,15 @@ func RunCoded(cfg CodedConfig, data []byte, n int) (*Result, error) {
 		alpha = rc / (rc + dt)
 	}
 
-	stream := rng.New(cfg.Seed)
+	ru.stream.Reseed(cfg.Seed)
+	stream := &ru.stream
 	var prevIn, prevOut float64
 	var initialized bool
 	state := false
 	warmSymbols := cfg.WarmupBits * spb
 
 	// Warmup preamble: alternating symbols, as a real preamble would be.
-	decided := make([]byte, 0, len(symbols))
+	decided := growBytes(ru.decided, len(symbols))[:0]
 	process := func(idx int, level float64) byte {
 		var integral float64
 		for s := 0; s < cfg.SamplesPerBit; s++ {
@@ -110,47 +129,52 @@ func RunCoded(cfg CodedConfig, data []byte, n int) (*Result, error) {
 		decided = append(decided, process(idx, level))
 		idx++
 	}
+	ru.decided = decided
 
 	// Decode tolerantly — a symbol error corrupts its own bit, not the
 	// rest of the stream (the strict linecode.Decode is for framing;
 	// here we measure BER).
-	res := &Result{Bits: len(data)}
-	got := decodeTolerant(cfg.Code, decided)
+	*res = Result{Bits: len(data)}
+	ru.decoded = decodeTolerantAppend(ru.decoded[:0], cfg.Code, decided)
+	got := ru.decoded
 	for i, b := range data {
 		if i >= len(got) || got[i] != b {
 			res.Errors++
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // decodeTolerant maps symbols to bits pairwise, pushing violations into
 // the affected bit only.
 func decodeTolerant(c linecode.Code, symbols []byte) []byte {
+	return decodeTolerantAppend(nil, c, symbols)
+}
+
+// decodeTolerantAppend appends the tolerant decode of symbols to dst.
+func decodeTolerantAppend(dst []byte, c linecode.Code, symbols []byte) []byte {
 	switch c {
 	case linecode.NRZ:
-		return symbols
+		return append(dst, symbols...)
 	case linecode.Manchester:
-		out := make([]byte, 0, len(symbols)/2)
 		for i := 0; i+1 < len(symbols); i += 2 {
 			// 1,0 → 1; 0,1 → 0; violations fall back to the first
 			// half-symbol.
-			out = append(out, symbols[i]&1)
+			dst = append(dst, symbols[i]&1)
 		}
-		return out
+		return dst
 	case linecode.FM0:
-		out := make([]byte, 0, len(symbols)/2)
 		for i := 0; i+1 < len(symbols); i += 2 {
 			// Data-1 has no mid-bit inversion; data-0 has one. The
 			// boundary inversion carries no data, so this intra-pair
 			// rule is violation-proof.
 			if symbols[i]&1 == symbols[i+1]&1 {
-				out = append(out, 1)
+				dst = append(dst, 1)
 			} else {
-				out = append(out, 0)
+				dst = append(dst, 0)
 			}
 		}
-		return out
+		return dst
 	default:
 		panic(fmt.Sprintf("rxchain: unknown code %d", int(c)))
 	}

@@ -1,0 +1,110 @@
+package rxchain
+
+import (
+	"sync"
+
+	"braidio/internal/par"
+	"braidio/internal/rng"
+)
+
+// Runner runs waveform simulations with reusable scratch buffers and an
+// in-place reseeded rng stream, so steady-state Run/RunCoded calls
+// allocate zero bytes. A Runner is not safe for concurrent use; the
+// sweep functions below hand one Runner per worker out of a pool.
+//
+// Runner.Run(cfg, n, res) computes exactly what Run(cfg, n) computes —
+// rng.Reseed reproduces rng.New's state byte-for-byte, and the buffers
+// only change where results are stored, never what is computed.
+type Runner struct {
+	stream rng.Stream
+	// payload holds generated random data bits for coded runs.
+	payload []byte
+	// symbols holds the line-coded channel symbols.
+	symbols []byte
+	// decided holds the comparator's per-symbol decisions.
+	decided []byte
+	// decoded holds the tolerant-decoded bits.
+	decoded []byte
+}
+
+// NewRunner returns an empty Runner; buffers grow on first use and are
+// reused afterwards.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run is the zero-allocation equivalent of the package-level Run,
+// overwriting *res with the result.
+func (ru *Runner) Run(cfg Config, n int, res *Result) error {
+	ru.stream.Reseed(cfg.Seed)
+	return run(cfg, n, &ru.stream, res)
+}
+
+// growBytes returns buf resized to n, reusing its storage when the
+// capacity suffices.
+func growBytes(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// runnerPool recycles Runners (and their grown scratch buffers) across
+// sweep calls.
+var runnerPool = sync.Pool{New: func() any { return NewRunner() }}
+
+// RunAll runs each config through the chain on a GOMAXPROCS-bounded
+// worker pool (workers <= 0 selects GOMAXPROCS) and returns the results
+// in config order. Every config carries its own seed, so each cell's
+// computation is self-contained and the sweep is bit-identical to
+// calling Run(cfgs[i], n) sequentially, at any worker count. Errors are
+// joined in config order.
+func RunAll(cfgs []Config, n int, workers int) ([]Result, error) {
+	out := make([]Result, len(cfgs))
+	err := par.ForErr(workers, len(cfgs), func(i int) error {
+		ru := runnerPool.Get().(*Runner)
+		defer runnerPool.Put(ru)
+		return ru.Run(cfgs[i], n, &out[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunCodedAll is RunAll for line-coded configs: each config runs through
+// RunCoded with the shared read-only data (or its own seed-derived
+// payload when data is nil), in parallel, with results in config order.
+func RunCodedAll(cfgs []CodedConfig, data []byte, n int, workers int) ([]Result, error) {
+	out := make([]Result, len(cfgs))
+	err := par.ForErr(workers, len(cfgs), func(i int) error {
+		ru := runnerPool.Get().(*Runner)
+		defer runnerPool.Put(ru)
+		return ru.RunCoded(cfgs[i], data, n, &out[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BERPoint is one cell of a waveform BER sweep.
+type BERPoint struct {
+	// Config that produced the cell.
+	Config Config
+	// Result of the run.
+	Result Result
+}
+
+// SweepBER runs n bits through every config and pairs each with its
+// result — the building block the waveform figures use to scan BER over
+// amplitude, cutoff, or rate on the shared pool.
+func SweepBER(cfgs []Config, n int, workers int) ([]BERPoint, error) {
+	results, err := RunAll(cfgs, n, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BERPoint, len(cfgs))
+	for i := range cfgs {
+		out[i] = BERPoint{Config: cfgs[i], Result: results[i]}
+	}
+	return out, nil
+}

@@ -91,17 +91,33 @@ func (r Result) BER() float64 {
 }
 
 // Run pushes n random bits through the chain and returns the result.
+// It is the allocating convenience wrapper around Runner.Run; steady-
+// state callers (sweeps, Monte-Carlo loops) should hold a Runner.
 func Run(cfg Config, n int) (*Result, error) {
+	res := new(Result)
+	var stream rng.Stream
+	stream.Reseed(cfg.Seed)
+	if err := run(cfg, n, &stream, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// run is the waveform loop shared by Run and Runner.Run. stream must be
+// freshly reseeded with cfg.Seed; res is overwritten. The sample-level
+// arithmetic (and therefore every draw and every float operation) is the
+// golden contract the experiment notes pin — optimizations here must be
+// bit-exact.
+func run(cfg Config, n int, stream *rng.Stream, res *Result) error {
 	if n <= 0 {
-		return nil, errors.New("rxchain: need at least one bit")
+		return errors.New("rxchain: need at least one bit")
 	}
 	if cfg.SamplesPerBit < 4 {
-		return nil, fmt.Errorf("rxchain: %d samples/bit is too coarse", cfg.SamplesPerBit)
+		return fmt.Errorf("rxchain: %d samples/bit is too coarse", cfg.SamplesPerBit)
 	}
 	if cfg.Rate <= 0 || cfg.SignalAmplitude <= 0 || cfg.NoiseRMS < 0 {
-		return nil, fmt.Errorf("rxchain: invalid config %+v", cfg)
+		return fmt.Errorf("rxchain: invalid config %+v", cfg)
 	}
-	stream := rng.New(cfg.Seed)
 	dt := 1 / (float64(cfg.Rate) * float64(cfg.SamplesPerBit))
 
 	// Single-pole high-pass: y[k] = a·(y[k-1] + x[k] − x[k-1]).
@@ -111,7 +127,7 @@ func Run(cfg Config, n int) (*Result, error) {
 		alpha = rc / (rc + dt)
 	}
 
-	res := &Result{Bits: n}
+	*res = Result{Bits: n}
 	var prevIn, prevOut float64
 	var initialized bool
 	var oneSum, zeroSum float64
@@ -174,7 +190,7 @@ func Run(cfg Config, n int) (*Result, error) {
 	if oneN > 0 && zeroN > 0 {
 		res.SwingAtComparator = oneSum/float64(oneN) - zeroSum/float64(zeroN)
 	}
-	return res, nil
+	return nil
 }
 
 // SNR returns the chain's effective per-bit SNR (linear): the matched
