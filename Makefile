@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz bench bench-smoke repro csv examples clean
+.PHONY: all build test vet race fuzz bench bench-smoke bench-diff repro csv examples clean
 
 all: build vet test
 
@@ -28,17 +28,29 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=10s ./internal/frame
 	$(GO) test -run=NONE -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/linecode
 
-# Run the root benchmark suite (paper tables/figures plus the waveform
-# engine and Monte Carlo sweeps), keep the raw text, and distill it into
-# the machine-readable perf record BENCH_pr3.json.
+# Run the benchmark suite (paper tables/figures, the waveform engine and
+# Monte Carlo sweeps, plus the hub/fleet engine), keep the raw text, and
+# distill it into the machine-readable perf record BENCH_pr4.json.
 bench:
-	$(GO) test -run=NONE -bench=. -benchmem . | tee bench_output.txt
-	$(GO) run ./cmd/braidio-bench -benchjson BENCH_pr3.json < bench_output.txt
+	$(GO) test -run=NONE -bench=. -benchmem . ./internal/hub | tee bench_output.txt
+	$(GO) run ./cmd/braidio-bench -benchjson BENCH_pr4.json < bench_output.txt
 
 # Quick compile-and-run smoke over every benchmark in the repo (one
 # iteration each); CI runs this to keep benchmarks from bit-rotting.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Regression gate: re-run the root suite briefly and diff it against the
+# committed baseline record. The threshold is generous (+200%) because
+# CI runners vary widely in clock speed — this catches algorithmic
+# regressions (work or allocations growing by integer factors), not
+# single-digit-percent noise. benchtime is time-based, not -Nx: a fixed
+# iteration count under-amortizes warm-up for sub-microsecond benchmarks
+# and false-positives the gate.
+bench-diff:
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=100ms . ./internal/hub > bench_diff_output.txt
+	$(GO) run ./cmd/braidio-bench -benchjson bench_new.json < bench_diff_output.txt
+	$(GO) run ./cmd/braidio-bench -benchdiff BENCH_pr4.json -threshold 2.0 bench_new.json
 
 # Print every reproduced artifact to stdout.
 repro:
@@ -56,4 +68,4 @@ examples:
 	$(GO) run ./examples/body-hub
 
 clean:
-	rm -rf out/ test_output.txt bench_output.txt
+	rm -rf out/ test_output.txt bench_output.txt bench_diff_output.txt bench_new.json

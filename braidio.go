@@ -8,6 +8,7 @@ import (
 	"braidio/internal/hub"
 	"braidio/internal/mac"
 	"braidio/internal/phy"
+	"braidio/internal/rng"
 	"braidio/internal/sim"
 	"braidio/internal/units"
 )
@@ -53,6 +54,8 @@ type (
 	WattHour = units.WattHour
 	// BitRate is a link speed in bits/second.
 	BitRate = units.BitRate
+	// Second is a wall-clock duration in seconds.
+	Second = units.Second
 )
 
 // The three operating modes, named after the receiver state.
@@ -362,6 +365,30 @@ type (
 // NewHub creates a star network centred on the given device using the
 // calibrated channel model.
 func NewHub(device Device) *Hub { return hub.New(device, nil) }
+
+// Fleet-scale simulation: populations of independent hub stars run
+// concurrently with per-shard deterministic random streams.
+type (
+	// Fleet is a population of independent hub stars simulated over one
+	// worker pool; results are bit-identical at any worker count.
+	Fleet = hub.Fleet
+	// FleetResult aggregates a fleet run (per-shard results plus
+	// population totals).
+	FleetResult = hub.FleetResult
+	// HubBuilder constructs one fleet shard's hub from the shard index
+	// and the shard's private random stream.
+	HubBuilder = hub.Builder
+	// RNG is a deterministic random stream (xoshiro256**); fleet shard
+	// builders draw every randomized member parameter from theirs.
+	RNG = rng.Stream
+)
+
+// RunFleet simulates n independent hub shards built by build, each for
+// the horizon split into rounds, over a GOMAXPROCS-bounded worker pool
+// with per-shard substreams carved from seed.
+func RunFleet(n int, seed uint64, build HubBuilder, horizon Second, rounds int) (*FleetResult, error) {
+	return hub.RunFleet(n, seed, build, horizon, rounds)
+}
 
 // Duplex is the packet-level bidirectional session (two Sessions wired
 // crosswise over shared batteries).

@@ -78,6 +78,38 @@ func TestCLIField(t *testing.T) {
 	}
 }
 
+// TestCLISimFleet: the fleet mode prints the population summary, and
+// the output is byte-identical across worker counts — the CLI-level
+// witness of the engine's determinism contract.
+func TestCLISimFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	args := []string{"./cmd/braidio-sim", "-fleet", "4", "-members", "2", "-horizon", "900", "-rounds", "3"}
+	seq := runCLI(t, append(args, "-workers", "1")...)
+	for _, want := range []string{"fleet bits delivered", "hubs exhausted: 0/4", "offload solves"} {
+		if !strings.Contains(seq, want) {
+			t.Errorf("fleet output missing %q:\n%s", want, seq)
+		}
+	}
+	par := runCLI(t, append(args, "-workers", "8")...)
+	if seq != par {
+		t.Errorf("fleet output differs between -workers 1 and 8:\n--- w1:\n%s--- w8:\n%s", seq, par)
+	}
+}
+
+// TestCLIBenchDiff: a record diffed against itself reports zero
+// regressions and exits 0.
+func TestCLIBenchDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runCLI(t, "./cmd/braidio-bench", "-benchdiff", "BENCH_pr3.json", "BENCH_pr3.json")
+	if !strings.Contains(out, "0 regressed") {
+		t.Errorf("self-diff reported regressions:\n%s", out)
+	}
+}
+
 func TestCLIExamples(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -22,6 +22,10 @@ type BenchResult struct {
 	BytesPerOp int64 `json:"bytes_per_op"`
 	// AllocsPerOp is reported with -benchmem; -1 when absent.
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Iters is the iteration count the run used; 0 in records written
+	// before the field existed. Alloc comparisons are skipped for runs
+	// too short to amortize per-run setup.
+	Iters int64 `json:"iters,omitempty"`
 }
 
 // BenchRecord is the top-level JSON document: enough context to compare
@@ -71,6 +75,9 @@ func parseBench(r io.Reader) (*BenchRecord, error) {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
 		}
 		res := BenchResult{Name: name, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+		if iters, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+			res.Iters = iters
+		}
 		for i := 4; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseInt(fields[i], 10, 64)
 			if err != nil {

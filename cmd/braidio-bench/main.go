@@ -7,12 +7,16 @@
 //	braidio-bench -exp fig15,fig9 # run a subset
 //	braidio-bench -csv out/       # also write CSV files
 //	go test -bench=. -benchmem . | braidio-bench -benchjson BENCH.json
+//	braidio-bench -benchdiff old.json new.json   # regression gate
 //
 // Each experiment prints a structured report: the paper's claim, the
 // measured headline numbers, and the regenerated tables/curves/matrices.
 // The -benchjson mode instead parses `go test -bench` output on stdin
 // into a machine-readable JSON perf record (name, ns/op, allocs/op), the
 // format the repo's perf trajectory (BENCH_*.json) is tracked in.
+// The -benchdiff mode compares two such records benchmark-by-benchmark
+// and exits 1 if any ns/op or allocs/op grew past -threshold — CI runs
+// it against the committed baseline to catch perf regressions.
 package main
 
 import (
@@ -31,7 +35,25 @@ func main() {
 	csvDir := flag.String("csv", "", "also write CSV files to this directory")
 	stats := flag.Bool("stats", false, "print scheduling-layer cache statistics after the run")
 	benchJSON := flag.String("benchjson", "", "parse `go test -bench` output from stdin and write a JSON benchmark record to this file")
+	benchDiff := flag.String("benchdiff", "", "baseline JSON record (from -benchjson); compares against the record named by the trailing argument and exits 1 on regression")
+	threshold := flag.Float64("threshold", 0.25, "fractional ns/op and allocs/op growth tolerated by -benchdiff before a benchmark counts as regressed")
 	flag.Parse()
+
+	if *benchDiff != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintf(os.Stderr, "braidio-bench: -benchdiff needs exactly one trailing argument (the new record), got %d\n", flag.NArg())
+			os.Exit(2)
+		}
+		regressions, err := runBenchDiff(*benchDiff, flag.Arg(0), *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braidio-bench: benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(os.Stdin, *benchJSON); err != nil {

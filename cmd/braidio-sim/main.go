@@ -9,6 +9,8 @@
 //	braidio-sim -tx "Nike Fuel Band" -rx "MacBook Pro 15" -d 0.5 -bidir
 //	braidio-sim -list                              # device catalog
 //	braidio-sim -txwh 0.5 -rxwh 80 -d 1.2          # custom capacities
+//	braidio-sim -fleet 16 -members 4               # population of hub stars
+//	braidio-sim -fleet 16 -cpuprofile cpu.pprof    # profile the fleet engine
 package main
 
 import (
@@ -44,7 +46,18 @@ func main() {
 		"brownout:start:period:dur[:scale] snr:bias[:sigma])")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for stochastic fault injectors")
 	list := flag.Bool("list", false, "list the device catalog and exit")
+	fleetN := flag.Int("fleet", 0, "simulate a fleet of N independent hubs (uses -members, -workers, -seed, -horizon, -rounds)")
+	membersM := flag.Int("members", 4, "wearables per hub in -fleet mode")
+	workers := flag.Int("workers", 0, "fleet worker pool size (0 = GOMAXPROCS; results identical at any value)")
+	seed := flag.Uint64("seed", 42, "fleet substream seed (same seed, same fleet)")
+	horizon := flag.Float64("horizon", 3600, "simulated seconds per hub in -fleet mode")
+	rounds := flag.Int("rounds", 12, "scheduling rounds per hub in -fleet mode")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file")
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	if *list {
 		rows := [][]string{}
@@ -57,6 +70,20 @@ func main() {
 
 	if *matrix {
 		printMatrix(braidio.Meter(*dist))
+		return
+	}
+
+	if *fleetN > 0 {
+		runFleet(fleetOpts{
+			shards:  *fleetN,
+			members: *membersM,
+			workers: *workers,
+			seed:    *seed,
+			horizon: *horizon,
+			rounds:  *rounds,
+			hub:     lookup(*rxName, *rxWh, "hub"),
+			member:  lookup(*txName, *txWh, "member"),
+		})
 		return
 	}
 

@@ -65,7 +65,15 @@ var DefaultDisableAllocationMemo bool
 
 // NewBraid returns a Braid with the defaults used by the evaluation.
 func NewBraid(m *phy.Model, d units.Meter) *Braid {
-	return &Braid{
+	b := DefaultBraid(m, d)
+	return &b
+}
+
+// DefaultBraid is NewBraid returning the braid by value, for callers
+// (the hub's pooled per-member scratch) that embed the braid in their
+// own storage instead of heap-allocating one per round.
+func DefaultBraid(m *phy.Model, d units.Meter) Braid {
+	return Braid{
 		Model:                 m,
 		Distance:              d,
 		ScheduleWindow:        128,
@@ -122,16 +130,75 @@ var ErrDegenerateAllocation = errors.New("core: allocation drains no energy over
 // reason.
 var ErrLinkDead = errors.New("core: link dead after bounded recovery attempts")
 
+// RunScratch holds the reusable buffers one braid needs across Run
+// calls: the block-schedule count/remainder vectors, the default
+// optimizer's allocation target, and the cross-run allocation memo. A
+// zero RunScratch is ready to use. Reusing one scratch across many
+// RunInto calls (the hub serves each member thousands of rounds) drops
+// the per-call allocation count to zero on the default-optimizer path.
+//
+// A RunScratch is not safe for concurrent use and must not be shared
+// between braids with different optimizers: the memo assumes the same
+// allocation function throughout, and it is keyed on (model, distance,
+// battery ratio) only.
+type RunScratch struct {
+	counts     []int
+	remainders []float64
+	// alloc and p back the default optimizer's in-place solves.
+	alloc Allocation
+	p     []float64
+	// Allocation memo: the last solved fractions (owned copy — the
+	// in-place solver overwrites alloc.P) and the state they were
+	// solved at. Unlike the pre-scratch engine the memo survives across
+	// Run calls, so a hub round can reuse the previous round's solve
+	// when the battery ratio has not drifted past the tolerance.
+	memoValid      bool
+	memoRatio      float64
+	memoLinks      []phy.ModeLink
+	memoP          []float64
+	memoTX, memoRX units.JoulesPerBit
+}
+
+// Reset invalidates the cross-run allocation memo while keeping the
+// scratch buffers for reuse. Engines that recycle scratch across
+// logically independent runs (the hub's sync.Pool) must call it so a
+// run's results never depend on what the recycled scratch last solved.
+func (s *RunScratch) Reset() { s.memoValid = false }
+
 // Run drains the two batteries (b1 at the data transmitter, b2 at the
 // data receiver) until either is empty, returning the totals. The
 // batteries are mutated.
 func (b *Braid) Run(b1, b2 *energy.Battery) (*Result, error) {
+	res := &Result{}
+	if err := b.RunInto(res, nil, b1, b2); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto is Run with caller-owned result and scratch storage: res is
+// reset (its ModeBits map is reused when present) and s, when non-nil,
+// supplies the schedule/optimizer buffers and carries the allocation
+// memo across calls. A nil s uses throwaway scratch, making RunInto
+// byte-identical to Run. The hub's fleet engine calls this once per
+// member per round with persistent per-member scratch, which is what
+// takes the steady-state round to zero heap allocations.
+func (b *Braid) RunInto(res *Result, s *RunScratch, b1, b2 *energy.Battery) error {
 	if b.Model == nil || b1 == nil || b2 == nil {
-		return nil, errors.New("core: braid needs a model and two batteries")
+		return errors.New("core: braid needs a model and two batteries")
 	}
 	if b.ScheduleWindow < 1 || b.EpochFraction <= 0 || b.EpochFraction > 1 {
-		return nil, fmt.Errorf("core: invalid braid parameters window=%d epoch=%v", b.ScheduleWindow, b.EpochFraction)
+		return fmt.Errorf("core: invalid braid parameters window=%d epoch=%v", b.ScheduleWindow, b.EpochFraction)
 	}
+	if s == nil {
+		s = &RunScratch{}
+	}
+	if res.ModeBits == nil {
+		res.ModeBits = make(map[phy.Mode]float64)
+	} else {
+		clear(res.ModeBits)
+	}
+	*res = Result{ModeBits: res.ModeBits}
 	var links []phy.ModeLink
 	if b.DisableLinkCache {
 		links = b.Model.Characterize(b.Distance)
@@ -139,45 +206,38 @@ func (b *Braid) Run(b1, b2 *energy.Battery) (*Result, error) {
 		links = linkcache.Characterize(b.Model, b.Distance)
 	}
 	if len(links) == 0 {
-		return nil, ErrOutOfRange
-	}
-	optimize := b.Optimizer
-	if optimize == nil {
-		optimize = Optimize
+		return ErrOutOfRange
 	}
 	// The memo assumes the optimizer's fractions depend on the budgets
 	// only through their ratio — true of Optimize (and OptimizeQoS /
 	// BestSingleMode). Arbitrary custom optimizers get memoized only when
 	// the caller opted into a tolerance.
 	memoOK := !b.DisableAllocationMemo && (b.Optimizer == nil || b.AllocationTolerance > 0)
+	// A memo carried over from an earlier Run is only meaningful while
+	// the characterized links are literally the same slice (the cached
+	// Characterize result for this model value and distance); a moved
+	// member, a mutated model, or a disabled link cache all produce a
+	// different slice and invalidate it.
+	if s.memoValid && (len(links) != len(s.memoLinks) || &links[0] != &s.memoLinks[0]) {
+		s.memoValid = false
+	}
 
 	payloadBits := float64(8 * b.Model.PayloadLen)
 	windowBits := payloadBits * float64(b.ScheduleWindow)
-	res := &Result{ModeBits: make(map[phy.Mode]float64)}
 	prevMode := phy.ModeActive // sessions start on the active radio (§4.2)
 
-	// Allocation memo: the last solved allocation and the battery ratio
-	// it was solved at.
-	var (
-		memoValid      bool
-		memoRatio      float64
-		memoLinks      []phy.ModeLink
-		memoP          []float64
-		memoTX, memoRX units.JoulesPerBit
-	)
 	// Mode-switch counting accumulates fractional windows in float64 and
 	// rounds once at the end; truncating per epoch (as this loop once
 	// did) systematically undercounts while SwitchEnergy1/2 still charge
 	// the full fractional cost.
 	var switchesF float64
-	// Scratch buffers reused across epochs.
-	var counts []int
-	var remainders []float64
+	counts := s.counts
+	remainders := s.remainders
 
 	const maxEpochs = 1_000_000
 	for !b1.Empty() && !b2.Empty() {
 		if res.Epochs >= maxEpochs {
-			return nil, errors.New("core: braid failed to converge")
+			return errors.New("core: braid failed to converge")
 		}
 		e1, e2 := b1.Remaining(), b2.Remaining()
 		ratio := float64(e1) / float64(e2)
@@ -185,22 +245,40 @@ func (b *Braid) Run(b1, b2 *energy.Battery) (*Result, error) {
 		var aLinks []phy.ModeLink
 		var p []float64
 		var projBits float64
-		if memoValid && ratioWithin(ratio, memoRatio, b.AllocationTolerance) {
-			aLinks, p = memoLinks, memoP
-			projBits = bitsFor(memoTX, memoRX, e1, e2)
+		if s.memoValid && ratioWithin(ratio, s.memoRatio, b.AllocationTolerance) {
+			aLinks, p = s.memoLinks, s.memoP
+			projBits = bitsFor(s.memoTX, s.memoRX, e1, e2)
 			res.AllocReuses++
 		} else {
-			alloc, err := optimize(links, e1, e2)
-			if err != nil {
-				return nil, err
+			var alloc *Allocation
+			if b.Optimizer != nil {
+				a, err := b.Optimizer(links, e1, e2)
+				if err != nil {
+					return err
+				}
+				alloc = a
+			} else {
+				if cap(s.p) < len(links) {
+					s.p = make([]float64, len(links))
+				}
+				if err := optimizeInto(&s.alloc, s.p[:len(links)], links, e1, e2); err != nil {
+					return err
+				}
+				alloc = &s.alloc
 			}
 			aLinks, p, projBits = alloc.Links, alloc.P, alloc.Bits
 			res.LPSolves++
 			if memoOK && alloc.TX > 0 && alloc.RX > 0 {
-				memoValid = true
-				memoRatio = ratio
-				memoLinks, memoP = alloc.Links, alloc.P
-				memoTX, memoRX = alloc.TX, alloc.RX
+				s.memoValid = true
+				s.memoRatio = ratio
+				s.memoLinks = alloc.Links
+				s.memoP = append(s.memoP[:0], alloc.P...)
+				s.memoTX, s.memoRX = alloc.TX, alloc.RX
+				if alloc == &s.alloc {
+					// The in-place solver will overwrite alloc.P on the
+					// next solve; schedule this epoch from the owned copy.
+					p = s.memoP
+				}
 			}
 		}
 		if projBits <= 0 || math.IsNaN(projBits) {
@@ -300,7 +378,7 @@ func (b *Braid) Run(b1, b2 *energy.Battery) (*Result, error) {
 		// NaN/Inf and spin forever without progress; the negated
 		// comparisons also catch NaN costs.
 		if !(winTX > 0) || !(winRX > 0) {
-			return nil, fmt.Errorf("%w: window energies tx=%v rx=%v", ErrDegenerateAllocation, winTX, winRX)
+			return fmt.Errorf("%w: window energies tx=%v rx=%v", ErrDegenerateAllocation, winTX, winRX)
 		}
 
 		// How many whole windows fit in both remaining budgets?
@@ -332,7 +410,8 @@ func (b *Braid) Run(b1, b2 *energy.Battery) (*Result, error) {
 		}
 	}
 	res.Switches = int(math.Round(switchesF))
-	return res, nil
+	s.counts, s.remainders = counts, remainders
+	return nil
 }
 
 // ratioWithin reports whether the current battery ratio is close enough

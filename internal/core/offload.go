@@ -111,11 +111,27 @@ func bitsFor(tx, rx units.JoulesPerBit, e1, e2 units.Joule) float64 {
 // the optimum is either a pure mode or a two-mode mix whose consumption
 // ratio exactly matches E1:E2; Optimize enumerates all of them.
 func Optimize(links []phy.ModeLink, e1, e2 units.Joule) (*Allocation, error) {
-	if err := validateInputs(links, e1, e2); err != nil {
+	a := &Allocation{}
+	if err := optimizeInto(a, make([]float64, len(links)), links, e1, e2); err != nil {
 		return nil, err
 	}
+	return a, nil
+}
+
+// optimizeInto is Optimize solving into caller-owned storage: dst's P
+// slice is resized in place and p (len(links)) is the candidate-vector
+// scratch. core.Braid's default-optimizer path calls this with its
+// RunScratch buffers so an epoch's solve performs no heap allocation.
+func optimizeInto(dst *Allocation, p []float64, links []phy.ModeLink, e1, e2 units.Joule) error {
+	if err := validateInputs(links, e1, e2); err != nil {
+		return err
+	}
 	ratio := float64(e1) / float64(e2)
-	best := &Allocation{Links: links, P: make([]float64, len(links)), Bits: -1}
+	if cap(dst.P) < len(links) {
+		dst.P = make([]float64, len(links))
+	}
+	dst.Links, dst.P, dst.Bits = links, dst.P[:len(links)], -1
+	best := dst
 
 	consider := func(p []float64) {
 		tx, rx := mixture(links, p)
@@ -125,8 +141,6 @@ func Optimize(links []phy.ModeLink, e1, e2 units.Joule) (*Allocation, error) {
 			best.TX, best.RX, best.Bits = tx, rx, bits
 		}
 	}
-
-	p := make([]float64, len(links))
 	// Pure modes.
 	for i := range links {
 		for j := range p {
@@ -156,7 +170,7 @@ func Optimize(links []phy.ModeLink, e1, e2 units.Joule) (*Allocation, error) {
 			consider(p)
 		}
 	}
-	return best, nil
+	return nil
 }
 
 // SolveEq1 solves the paper's Eq. 1 exactly via the simplex solver:

@@ -17,16 +17,40 @@
 // its MemberResult carries a typed error wrapping ErrMemberQuarantined
 // and the cause — while the round-robin keeps serving healthy members.
 // Pre-quarantine, one degraded member could sink the whole run.
+//
+// # Two-phase rounds
+//
+// Run is a deterministic parallel engine. Each round is two phases:
+//
+//  1. Plan: every eligible member solves and executes its braid against
+//     an immutable snapshot of the hub's round-start energy and a copy
+//     of its own battery, concurrently over the shared worker pool
+//     (internal/par). Plans write only per-member scratch.
+//  2. Commit: in registration order, each plan's drains are applied to
+//     the real batteries, strikes/quarantines are charged, and totals
+//     are accumulated. If earlier commits drained the hub below what a
+//     later plan assumed, that member is re-solved against the true
+//     remaining energies (counted in Result.Replans).
+//
+// Because plans touch only state owned by their member index and the
+// commit order is fixed, the Result is bit-identical at any Workers
+// count — the same discipline as modem.MonteCarloBERParallel. The one
+// obligation on callers: a Member's Walk and Faults state must be
+// private to that member (they are advanced once per round from
+// whatever goroutine plans the member; sharing one stateful injector
+// across members would race).
 package hub
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"braidio/internal/core"
 	"braidio/internal/energy"
 	"braidio/internal/faults"
 	"braidio/internal/linkcache"
+	"braidio/internal/par"
 	"braidio/internal/phy"
 	"braidio/internal/sim"
 	"braidio/internal/units"
@@ -66,6 +90,11 @@ type Hub struct {
 	// is quarantined for the rest of the run. Zero means the default of
 	// three; a successful round resets the member's count.
 	QuarantineStrikes int
+	// Workers bounds the plan phase's concurrency: 0 selects
+	// GOMAXPROCS, 1 plans sequentially on the calling goroutine. The
+	// Result is bit-identical at any value — Workers trades only
+	// wall-clock.
+	Workers int
 
 	device  energy.Device
 	model   *phy.Model
@@ -150,6 +179,16 @@ type Result struct {
 	// solver counters across every member run: how many allocations were
 	// actually solved versus served from the ratio-keyed memo.
 	LPSolves, AllocReuses int
+	// HubDiedRound is the round during which the hub battery hit empty
+	// (checked after every member commit), or -1 if it survived the
+	// horizon. Members later in the commit order than the fatal drain
+	// are not served for the rest of the run.
+	HubDiedRound int
+	// Replans counts commit-time re-solves: rounds where earlier
+	// commits drained the hub below what a member's snapshot plan
+	// assumed, so the member was re-run against the true remaining
+	// energies. Nonzero only in the hub's dying rounds.
+	Replans int
 }
 
 // TotalBits sums delivered bits across members.
@@ -172,11 +211,62 @@ func (h *Hub) strikeLimit() int {
 	return defaultQuarantineStrikes
 }
 
+// memberScratch is one member's slot in the pooled run scratch: its
+// persistent braid (re-pointed at the round's distance and bit budget),
+// the braid's allocation scratch and reusable result, the plan-phase
+// battery copies, and the plan verdict the commit phase consumes.
+type memberScratch struct {
+	braid  core.Braid
+	scr    core.RunScratch
+	plan   core.Result
+	planB1 energy.Battery // copy of the member battery
+	planB2 energy.Battery // copy of the hub's round-start snapshot
+
+	err              error
+	outage           bool
+	skipQuarantined  bool
+	skipStarved      bool
+	txScale, rxScale float64
+}
+
+// runScratch is the per-Run working set recycled through a sync.Pool so
+// that repeated runs — a fleet shard simulating thousands of hub
+// rounds — stop churning braids, schedule buffers, and ModeBits maps.
+type runScratch struct {
+	members []memberScratch
+	strikes []int
+}
+
+// scratchPool recycles runScratch values across Run calls.
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// acquireScratch returns a scratch sized for n members with every slot
+// reset: stale allocation memos are invalidated so a run's results can
+// never depend on what a recycled scratch last solved.
+func acquireScratch(n int) *runScratch {
+	s := scratchPool.Get().(*runScratch)
+	if cap(s.members) < n {
+		s.members = make([]memberScratch, n)
+		s.strikes = make([]int, n)
+	}
+	s.members = s.members[:n]
+	s.strikes = s.strikes[:n]
+	for i := range s.members {
+		ms := &s.members[i]
+		ms.scr.Reset()
+		ms.err = nil
+		s.strikes[i] = 0
+	}
+	return s
+}
+
 // Run simulates the star for a wall-clock horizon, delivering each
-// member's offered load in rounds. Each round covers a slice of the
-// horizon; within a round every member moves its offered bits through a
-// braid whose allocation is re-solved against the member's and the
-// hub's current remaining energy. Run stops early if the hub dies.
+// member's offered load in rounds. Each round plans every member's
+// braid concurrently against the hub's round-start energy snapshot,
+// then commits the drains in registration order (see the package
+// comment for the two-phase determinism contract). Run stops early —
+// mid-round, after the fatal commit — if the hub dies, recording the
+// round in Result.HubDiedRound.
 //
 // Member failures do not abort the run: a round that errors (the member
 // walked out of range, its QoS floor is infeasible, its carrier dropped)
@@ -196,73 +286,99 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 		memberBatts[i] = m.Device.NewBattery()
 	}
 	res := &Result{
-		Horizon: horizon,
-		Members: make([]MemberResult, len(h.members)),
+		Horizon:      horizon,
+		Members:      make([]MemberResult, len(h.members)),
+		HubDiedRound: -1,
 	}
 	for i, m := range h.members {
 		res.Members[i] = MemberResult{Member: m, ModeBits: make(map[phy.Mode]float64)}
 	}
-	strikes := make([]int, len(h.members))
+	scr := acquireScratch(len(h.members))
+	defer scratchPool.Put(scr)
+	for i, m := range h.members {
+		ms := &scr.members[i]
+		ms.braid = core.DefaultBraid(h.model, m.Distance)
+		if m.MinRate > 0 {
+			minRate := m.MinRate
+			ms.braid.Optimizer = func(links []phy.ModeLink, e1, e2 units.Joule) (*core.Allocation, error) {
+				return core.OptimizeQoS(links, e1, e2, minRate)
+			}
+		}
+	}
 
 	slice := horizon / units.Second(rounds)
+	// The plan closure reads the round state through these variables so
+	// par.For gets one closure for the whole run, not one per round.
+	var (
+		now     units.Second
+		hubSnap energy.Battery
+	)
+	plan := func(i int) { h.planMember(i, scr, res, memberBatts, &hubSnap, now, slice) }
+
 	for round := 0; round < rounds && !hubBatt.Empty(); round++ {
-		now := units.Second(round) * slice
-		for i, m := range h.members {
+		now = units.Second(round) * slice
+		hubSnap = *hubBatt
+
+		// Phase 1: plan all members against the immutable snapshot.
+		par.For(h.Workers, len(h.members), plan)
+
+		// Phase 2: commit in registration order.
+		for i := range h.members {
+			ms := &scr.members[i]
 			mr := &res.Members[i]
-			if mr.Quarantined {
+			m := &h.members[i]
+			if ms.skipQuarantined {
 				continue
 			}
-			if memberBatts[i].Empty() {
+			if ms.skipStarved {
 				mr.Starved = true
 				continue
 			}
-			d := m.Distance
-			if m.Walk != nil {
-				d = m.Walk.DistanceAt(now)
-			}
-			txScale, rxScale := 1.0, 1.0
-			if m.Faults != nil {
-				var env faults.Env
-				env.Reset(now, phy.ModeActive, units.Rate1M, 0)
-				m.Faults.Impair(&env)
-				if env.CarrierLost {
-					mr.OutageRounds++
-					res.OutageRounds++
-					h.strikeMember(mr, &strikes[i], round,
-						fmt.Errorf("hub: member %s: carrier lost at t=%vs", m.Device.Name, float64(now)), res)
-					continue
-				}
-				txScale, rxScale = env.TXDrain, env.RXDrain
-			}
-			bits := float64(m.Load) * float64(slice)
-			braid := core.NewBraid(h.model, d)
-			braid.MaxBits = bits
-			if m.MinRate > 0 {
-				minRate := m.MinRate
-				braid.Optimizer = func(links []phy.ModeLink, e1, e2 units.Joule) (*core.Allocation, error) {
-					return core.OptimizeQoS(links, e1, e2, minRate)
-				}
-			}
-			run, err := braid.Run(memberBatts[i], hubBatt)
-			if err != nil {
-				h.strikeMember(mr, &strikes[i], round,
-					fmt.Errorf("hub: member %s: %w", m.Device.Name, err), res)
+			if ms.outage {
+				mr.OutageRounds++
+				res.OutageRounds++
+				h.strikeMember(mr, &scr.strikes[i], round,
+					fmt.Errorf("hub: member %s: carrier lost at t=%vs", m.Device.Name, float64(now)), res)
 				continue
 			}
-			strikes[i] = 0
+			if ms.err == nil {
+				run := &ms.plan
+				hubNeed := run.Drain2
+				if ms.rxScale > 1 {
+					hubNeed += run.Drain2 * units.Joule(ms.rxScale-1)
+				}
+				if hubBatt.Remaining() < hubNeed {
+					// Earlier commits this round drained the hub below
+					// what the snapshot promised: re-solve against the
+					// true remaining energies. RunInto drains the real
+					// batteries directly in this path.
+					res.Replans++
+					ms.err = ms.braid.RunInto(&ms.plan, &ms.scr, memberBatts[i], hubBatt)
+				} else {
+					memberBatts[i].Drain(run.Drain1)
+					hubBatt.Drain(run.Drain2)
+				}
+			}
+			if ms.err != nil {
+				h.strikeMember(mr, &scr.strikes[i], round,
+					fmt.Errorf("hub: member %s: %w", m.Device.Name, ms.err), res)
+				continue
+			}
+			run := &ms.plan
+			scr.strikes[i] = 0
 			mr.Bits += run.Bits
 			res.LPSolves += run.LPSolves
 			res.AllocReuses += run.AllocReuses
 			mr.MemberDrain += run.Drain1
 			mr.HubDrain += run.Drain2
 			res.HubDrain += run.Drain2
-			if txScale > 1 {
-				extra := run.Drain1 * units.Joule(txScale-1)
+			if ms.txScale > 1 {
+				extra := run.Drain1 * units.Joule(ms.txScale-1)
 				memberBatts[i].Drain(extra)
 				mr.MemberDrain += extra
 			}
-			if rxScale > 1 {
-				extra := run.Drain2 * units.Joule(rxScale-1)
+			if ms.rxScale > 1 {
+				extra := run.Drain2 * units.Joule(ms.rxScale-1)
 				hubBatt.Drain(extra)
 				mr.HubDrain += extra
 				res.HubDrain += extra
@@ -270,18 +386,63 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 			for mode, b := range run.ModeBits {
 				mr.ModeBits[mode] += b
 			}
-			if run.Bits < bits*0.999 {
-				if memberBatts[i].Empty() {
-					mr.Starved = true
+			bits := float64(m.Load) * float64(slice)
+			if run.Bits < bits*0.999 && memberBatts[i].Empty() {
+				mr.Starved = true
+			}
+			// Hub-death accounting: checked after *every* commit, not
+			// only on under-delivery — a dead hub must not keep serving
+			// the rest of the round.
+			if hubBatt.Empty() {
+				if res.HubDiedRound < 0 {
+					res.HubDiedRound = round
 				}
-				if hubBatt.Empty() {
-					break
-				}
+				break
 			}
 		}
 	}
 	res.HubExhausted = hubBatt.Empty()
 	return res, nil
+}
+
+// planMember runs one member's plan phase: advance its walk and fault
+// state for the round, then solve and execute its braid against a copy
+// of its battery and the hub's round-start snapshot. It writes only to
+// the member's scratch slot (and reads only member-owned state), which
+// is what makes the phase safe and deterministic under par.For at any
+// worker count.
+func (h *Hub) planMember(i int, scr *runScratch, res *Result, memberBatts []*energy.Battery,
+	hubSnap *energy.Battery, now, slice units.Second) {
+	ms := &scr.members[i]
+	mr := &res.Members[i]
+	m := &h.members[i]
+	ms.err = nil
+	ms.outage = false
+	ms.skipQuarantined = mr.Quarantined
+	ms.skipStarved = !mr.Quarantined && memberBatts[i].Empty()
+	ms.txScale, ms.rxScale = 1, 1
+	if ms.skipQuarantined || ms.skipStarved {
+		return
+	}
+	d := m.Distance
+	if m.Walk != nil {
+		d = m.Walk.DistanceAt(now)
+	}
+	if m.Faults != nil {
+		var env faults.Env
+		env.Reset(now, phy.ModeActive, units.Rate1M, 0)
+		m.Faults.Impair(&env)
+		if env.CarrierLost {
+			ms.outage = true
+			return
+		}
+		ms.txScale, ms.rxScale = env.TXDrain, env.RXDrain
+	}
+	ms.braid.Distance = d
+	ms.braid.MaxBits = float64(m.Load) * float64(slice)
+	ms.planB1 = *memberBatts[i]
+	ms.planB2 = *hubSnap
+	ms.err = ms.braid.RunInto(&ms.plan, &ms.scr, &ms.planB1, &ms.planB2)
 }
 
 // strikeMember records one failed round for a member and quarantines it

@@ -12,12 +12,25 @@
 // reads are impossible. Cached slices are shared between callers and
 // must be treated as read-only.
 //
-// The cache is process-global and safe for concurrent use. SetEnabled
-// turns it off globally (the golden tests prove results are bit-identical
-// either way); core.Braid additionally has a per-braid bypass.
+// The cache is process-global and safe for concurrent use. To keep a
+// fleet of parallel hub engines from serializing on one lock, it is
+// striped into 2^k independent shards selected by a hash of the lookup
+// key; each shard holds its own tables, lock, and hit/miss counters
+// (Snapshot aggregates them). Eviction is per-shard and bounded: a full
+// shard drops one resident victim to admit the new entry, so a mobility
+// workload that overflows the cache degrades smoothly instead of
+// repeatedly flushing whole tables out from under concurrent readers
+// (the clear-all stampede the pre-sharded cache suffered).
+//
+// SetEnabled turns the cache off globally (the golden tests prove
+// results are bit-identical either way); core.Braid additionally has a
+// per-braid bypass. Because every cached value is a pure function of
+// its key, eviction policy and shard layout can never change results —
+// only hit rates.
 package linkcache
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -25,10 +38,24 @@ import (
 	"braidio/internal/units"
 )
 
-// maxEntries bounds each memo table. Steady workloads (fixed scenario
-// distances) stay far below it; continuous-mobility workloads would
-// otherwise grow without bound, so a full table is flushed and rebuilt.
+// maxEntries bounds the total resident entries per table kind across
+// all shards. Steady workloads (fixed scenario distances) stay far
+// below it; continuous-mobility workloads churn against the per-shard
+// bound instead of growing without bound.
 const maxEntries = 4096
+
+// shardBits selects the stripe count: 2^shardBits independent shards.
+// 32 shards keep lock hold times negligible for dozens of concurrent
+// hub planners while staying small enough that per-shard capacity
+// (maxEntries / shardCount) is still useful.
+const shardBits = 5
+
+// shardCount is the number of lock stripes.
+const shardCount = 1 << shardBits
+
+// maxPerShard bounds each shard's tables so the global footprint stays
+// at maxEntries per table kind.
+const maxPerShard = maxEntries / shardCount
 
 // linkKey identifies one Characterize result.
 type linkKey struct {
@@ -44,16 +71,70 @@ type pointKey struct {
 	d     units.Meter
 }
 
-var (
-	disabled atomic.Bool
-
+// shard is one lock stripe: its own tables and counters. The counters
+// are atomics so hits (the hot path) only take the read lock.
+type shard struct {
 	mu    sync.RWMutex
-	links = map[linkKey][]phy.ModeLink{}
-	snrs  = map[pointKey]units.DB{}
-	bers  = map[pointKey]float64{}
+	links map[linkKey][]phy.ModeLink
+	snrs  map[pointKey]units.DB
+	bers  map[pointKey]float64
 
 	hits, misses atomic.Uint64
+
+	// Pad shards apart so neighbouring stripes' counters do not share a
+	// cache line under concurrent planners.
+	_ [64]byte
+}
+
+var (
+	disabled atomic.Bool
+	shards   [shardCount]shard
 )
+
+func init() {
+	for i := range shards {
+		shards[i].links = make(map[linkKey][]phy.ModeLink)
+		shards[i].snrs = make(map[pointKey]units.DB)
+		shards[i].bers = make(map[pointKey]float64)
+	}
+}
+
+// mix64 is SplitMix64's finalizer — a cheap, high-quality 64-bit mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// shardFor selects the stripe for a lookup. Distance is the
+// high-cardinality dimension (mobility sweeps thousands of distinct
+// separations), so it must dominate the spread; mode/rate and a cheap
+// fingerprint of the model's scalar knobs are folded in so distinct
+// models and link points do not pile onto one stripe. Models differing
+// only in deep rf.Link internals may share a stripe — that costs at
+// most capacity sharing, never correctness, because the full model
+// value is still part of the map key.
+func shardFor(m *phy.Model, mode phy.Mode, rate units.BitRate, d units.Meter) *shard {
+	h := mix64(math.Float64bits(float64(d)))
+	h ^= mix64(uint64(mode)<<32 ^ math.Float64bits(float64(rate)))
+	h ^= mix64(uint64(m.PayloadLen)<<1 ^ math.Float64bits(float64(m.FadeMargin)))
+	if m.Retransmit {
+		h = mix64(h)
+	}
+	return &shards[h>>(64-shardBits)]
+}
+
+// evictOne drops one resident entry from a full table. Go's randomized
+// map iteration order makes the victim effectively random, which is
+// exactly what a scan-heavy mobility workload needs: unlike the old
+// clear-all flush, a working set that slightly overflows capacity keeps
+// most of its entries resident.
+func evictOne[K comparable, V any](t map[K]V) {
+	for k := range t {
+		delete(t, k)
+		return
+	}
+}
 
 // Enabled reports whether the global cache is active.
 func Enabled() bool { return !disabled.Load() }
@@ -68,22 +149,23 @@ func Characterize(m *phy.Model, d units.Meter) []phy.ModeLink {
 	if disabled.Load() {
 		return m.Characterize(d)
 	}
+	sh := shardFor(m, 0, 0, d)
 	k := linkKey{model: *m, d: d}
-	mu.RLock()
-	ls, ok := links[k]
-	mu.RUnlock()
+	sh.mu.RLock()
+	ls, ok := sh.links[k]
+	sh.mu.RUnlock()
 	if ok {
-		hits.Add(1)
+		sh.hits.Add(1)
 		return ls
 	}
-	misses.Add(1)
+	sh.misses.Add(1)
 	ls = m.Characterize(d)
-	mu.Lock()
-	if len(links) >= maxEntries {
-		clear(links)
+	sh.mu.Lock()
+	if _, ok := sh.links[k]; !ok && len(sh.links) >= maxPerShard {
+		evictOne(sh.links)
 	}
-	links[k] = ls
-	mu.Unlock()
+	sh.links[k] = ls
+	sh.mu.Unlock()
 	return ls
 }
 
@@ -93,22 +175,23 @@ func SNR(m *phy.Model, mode phy.Mode, r units.BitRate, d units.Meter) units.DB {
 	if disabled.Load() {
 		return m.SNR(mode, r, d)
 	}
+	sh := shardFor(m, mode, r, d)
 	k := pointKey{model: *m, mode: mode, rate: r, d: d}
-	mu.RLock()
-	v, ok := snrs[k]
-	mu.RUnlock()
+	sh.mu.RLock()
+	v, ok := sh.snrs[k]
+	sh.mu.RUnlock()
 	if ok {
-		hits.Add(1)
+		sh.hits.Add(1)
 		return v
 	}
-	misses.Add(1)
+	sh.misses.Add(1)
 	v = m.SNR(mode, r, d)
-	mu.Lock()
-	if len(snrs) >= maxEntries {
-		clear(snrs)
+	sh.mu.Lock()
+	if _, ok := sh.snrs[k]; !ok && len(sh.snrs) >= maxPerShard {
+		evictOne(sh.snrs)
 	}
-	snrs[k] = v
-	mu.Unlock()
+	sh.snrs[k] = v
+	sh.mu.Unlock()
 	return v
 }
 
@@ -118,54 +201,70 @@ func BER(m *phy.Model, mode phy.Mode, r units.BitRate, d units.Meter) float64 {
 	if disabled.Load() {
 		return m.BER(mode, r, d)
 	}
+	sh := shardFor(m, mode, r, d)
 	k := pointKey{model: *m, mode: mode, rate: r, d: d}
-	mu.RLock()
-	v, ok := bers[k]
-	mu.RUnlock()
+	sh.mu.RLock()
+	v, ok := sh.bers[k]
+	sh.mu.RUnlock()
 	if ok {
-		hits.Add(1)
+		sh.hits.Add(1)
 		return v
 	}
-	misses.Add(1)
+	sh.misses.Add(1)
 	v = m.BER(mode, r, d)
-	mu.Lock()
-	if len(bers) >= maxEntries {
-		clear(bers)
+	sh.mu.Lock()
+	if _, ok := sh.bers[k]; !ok && len(sh.bers) >= maxPerShard {
+		evictOne(sh.bers)
 	}
-	bers[k] = v
-	mu.Unlock()
+	sh.bers[k] = v
+	sh.mu.Unlock()
 	return v
 }
 
 // Stats is a snapshot of the cache counters.
 type Stats struct {
 	// Hits and Misses count lookups served from / added to the memo
-	// since the last ResetStats.
+	// since the last ResetStats, summed across shards.
 	Hits, Misses uint64
-	// Entries is the current resident entry count across all tables.
+	// Entries is the current resident entry count across all tables and
+	// shards.
 	Entries int
+	// Shards is the number of lock stripes the cache runs with.
+	Shards int
 }
 
-// Snapshot returns the current cache counters.
+// Snapshot returns the current cache counters, aggregated over every
+// shard.
 func Snapshot() Stats {
-	mu.RLock()
-	n := len(links) + len(snrs) + len(bers)
-	mu.RUnlock()
-	return Stats{Hits: hits.Load(), Misses: misses.Load(), Entries: n}
+	s := Stats{Shards: shardCount}
+	for i := range shards {
+		sh := &shards[i]
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		sh.mu.RLock()
+		s.Entries += len(sh.links) + len(sh.snrs) + len(sh.bers)
+		sh.mu.RUnlock()
+	}
+	return s
 }
 
 // ResetStats zeroes the hit/miss counters (entries stay resident).
 func ResetStats() {
-	hits.Store(0)
-	misses.Store(0)
+	for i := range shards {
+		shards[i].hits.Store(0)
+		shards[i].misses.Store(0)
+	}
 }
 
-// Flush drops every cached entry — benchmarks use it to measure cold
-// paths.
+// Flush drops every cached entry in every shard — benchmarks use it to
+// measure cold paths.
 func Flush() {
-	mu.Lock()
-	clear(links)
-	clear(snrs)
-	clear(bers)
-	mu.Unlock()
+	for i := range shards {
+		sh := &shards[i]
+		sh.mu.Lock()
+		clear(sh.links)
+		clear(sh.snrs)
+		clear(sh.bers)
+		sh.mu.Unlock()
+	}
 }

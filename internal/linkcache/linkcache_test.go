@@ -104,6 +104,92 @@ func TestEvictionBounded(t *testing.T) {
 	}
 }
 
+// TestChurnKeepsHitRate is the eviction-stampede regression test: a
+// cyclic mobility scan over a working set slightly larger than the
+// cache's capacity. The old clear-all eviction flushed the whole table
+// every time an insert crossed maxEntries, so a repeated scan re-missed
+// essentially every key (MRU pathology: ~0% hits after the first
+// cycle). Per-shard random-victim eviction keeps most of the working
+// set resident, so later cycles must see a healthy hit rate.
+func TestChurnKeepsHitRate(t *testing.T) {
+	resetAll()
+	m := phy.NewModel()
+	keys := maxEntries + maxEntries/4 // 25% overflow
+	distance := func(i int) units.Meter { return units.Meter(0.1 + float64(i)*1e-4) }
+	// Cold cycle populates; do not count its misses against the policy.
+	for i := 0; i < keys; i++ {
+		Characterize(m, distance(i))
+	}
+	ResetStats()
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < keys; i++ {
+			Characterize(m, distance(i))
+		}
+	}
+	s := Snapshot()
+	rate := float64(s.Hits) / float64(s.Hits+s.Misses)
+	t.Logf("hit rate %.3f over %d churn lookups (%d shards)", rate, s.Hits+s.Misses, s.Shards)
+	if rate < 0.3 {
+		t.Errorf("hit rate %.3f under 25%%-overflow churn; clear-all eviction regressed (want > 0.3)", rate)
+	}
+	if s.Entries > maxEntries {
+		t.Errorf("%d resident entries, cap is %d", s.Entries, maxEntries)
+	}
+}
+
+// TestConcurrentChurnKeepsHitRate runs the overflow scan from many
+// goroutines at once — the "concurrent writers clear() each other's
+// fresh entries" stampede. Under -race this is also the sharded write
+// path's race test.
+func TestConcurrentChurnKeepsHitRate(t *testing.T) {
+	resetAll()
+	m := phy.NewModel()
+	keys := maxEntries + maxEntries/4
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for cycle := 0; cycle < 2; cycle++ {
+				for i := g; i < keys; i += 8 {
+					Characterize(m, units.Meter(0.1+float64(i)*1e-4))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ResetStats()
+	for i := 0; i < keys; i++ {
+		Characterize(m, units.Meter(0.1+float64(i)*1e-4))
+	}
+	s := Snapshot()
+	rate := float64(s.Hits) / float64(s.Hits+s.Misses)
+	if rate <= 0 {
+		t.Errorf("hit rate %.3f after concurrent churn, want > 0", rate)
+	}
+}
+
+// TestShardSpread: the key hash must actually stripe a mobility sweep
+// across shards, not pile everything onto a few locks.
+func TestShardSpread(t *testing.T) {
+	resetAll()
+	m := phy.NewModel()
+	for i := 0; i < 1024; i++ {
+		Characterize(m, units.Meter(0.1+float64(i)*1e-3))
+	}
+	occupied := 0
+	for i := range shards {
+		shards[i].mu.RLock()
+		if len(shards[i].links) > 0 {
+			occupied++
+		}
+		shards[i].mu.RUnlock()
+	}
+	if occupied < shardCount/2 {
+		t.Errorf("1024 distinct distances landed on only %d/%d shards", occupied, shardCount)
+	}
+}
+
 // TestConcurrentAccess hammers all three memo tables from many
 // goroutines; run under -race this is the cache's data-race test.
 func TestConcurrentAccess(t *testing.T) {
