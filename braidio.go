@@ -7,6 +7,7 @@ import (
 	"braidio/internal/faults"
 	"braidio/internal/hub"
 	"braidio/internal/mac"
+	"braidio/internal/obs"
 	"braidio/internal/phy"
 	"braidio/internal/rng"
 	"braidio/internal/sim"
@@ -183,6 +184,9 @@ type Pair struct {
 	// this pair.
 	walk          mac.Walk
 	sessionFaults faults.Injector
+	// metrics is the recorder WithMetrics attached (nil = process
+	// default), carried into sessions opened on this pair.
+	metrics *obs.Recorder
 }
 
 // Option customizes a Pair.
@@ -317,6 +321,7 @@ func (p *Pair) NewSession(seed uint64) (*Session, error) {
 	cfg := mac.DefaultConfig(p.model, p.Distance, seed)
 	cfg.Walk = p.walk
 	cfg.Faults = p.sessionFaults
+	cfg.Obs = p.metrics
 	return mac.NewSession(cfg, energy.NewBattery(p.TX.Capacity), energy.NewBattery(p.RX.Capacity))
 }
 
@@ -401,6 +406,7 @@ type Duplex = mac.Duplex
 func (p *Pair) NewDuplex(seed uint64) (*Duplex, error) {
 	cfg := mac.DefaultConfig(p.model, p.Distance, seed)
 	cfg.Walk = p.walk
+	cfg.Obs = p.metrics
 	return mac.NewDuplex(cfg, energy.NewBattery(p.TX.Capacity), energy.NewBattery(p.RX.Capacity))
 }
 
@@ -410,4 +416,50 @@ func (p *Pair) NewDuplex(seed uint64) (*Duplex, error) {
 // slots, so the braid sheds them at the price of power proportionality.
 func (p *Pair) PlanQoS(minRate BitRate) (*Allocation, error) {
 	return core.OptimizeQoS(p.Links(), p.TX.Capacity.Joules(), p.RX.Capacity.Joules(), minRate)
+}
+
+// Observability: the zero-allocation metrics and tracing layer
+// (internal/obs) re-exported. Attach a MetricsRecorder to a Pair, Hub,
+// or Fleet (or install a process default with SetDefaultMetrics) and
+// read a MetricsSnapshot after the run; attaching a recorder never
+// changes any result, and Canonical snapshots are bit-identical at any
+// worker count.
+type (
+	// MetricsRecorder is the concurrent-safe metric set engines report
+	// into: counters, fixed-point float series, and histograms.
+	MetricsRecorder = obs.Recorder
+	// MetricsSnapshot is a recorder's frozen state, with table / JSON /
+	// Prometheus writers and derived accessors (mode fractions,
+	// energy per bit).
+	MetricsSnapshot = obs.Snapshot
+	// MetricsTracer is a bounded ring buffer of engine events
+	// (mode switches, fallbacks, replans, quarantines, hub deaths).
+	MetricsTracer = obs.Tracer
+	// TraceEvent is one traced engine event.
+	TraceEvent = obs.Event
+)
+
+// NewMetricsRecorder returns a ready MetricsRecorder with the standard
+// bucket layouts.
+func NewMetricsRecorder() *MetricsRecorder { return obs.NewRecorder() }
+
+// NewMetricsTracer returns a MetricsTracer retaining the last capacity
+// events (a default capacity when non-positive). Assign it to a
+// recorder's Tracer field to capture event timelines.
+func NewMetricsTracer(capacity int) *MetricsTracer { return obs.NewTracer(capacity) }
+
+// SetDefaultMetrics installs (or, with nil, removes) the process-global
+// default recorder: engines without an explicitly attached recorder
+// report there. WithMetrics takes precedence per pair.
+func SetDefaultMetrics(r *MetricsRecorder) { obs.SetDefault(r) }
+
+// WithMetrics attaches a metrics recorder to the pair: transfers and
+// sessions opened on it report run totals, mode occupancy, solver and
+// fallback activity into r. Results are unchanged; one recorder may be
+// shared by many pairs.
+func WithMetrics(r *MetricsRecorder) Option {
+	return func(p *Pair) {
+		p.braid.Obs = r
+		p.metrics = r
+	}
 }

@@ -98,6 +98,51 @@ func TestCLISimFleet(t *testing.T) {
 	}
 }
 
+// TestCLISimMetrics: the -metrics flag emits the observability snapshot
+// in all three formats, the table's fleet section is byte-identical
+// across worker counts (the CLI witness of the metrics determinism
+// contract), and an unknown format fails.
+func TestCLISimMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	args := []string{"./cmd/braidio-sim", "-fleet", "4", "-members", "2", "-horizon", "900", "-rounds", "3", "-metrics"}
+	table := runCLI(t, append(args, "table", "-workers", "1")...)
+	for _, want := range []string{"== Metrics ==", "Mode occupancy", "TX:RX drain ratio", "braid runs", "quarantines"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("-metrics table missing %q:\n%s", want, table)
+		}
+	}
+	// The table must be byte-identical across worker counts except the
+	// link-cache lines: the cache is process-global and its hit/miss
+	// split depends on shard interleaving (the same sections
+	// Snapshot.Canonical projects out).
+	stripCache := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.Contains(line, "cache") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if par := runCLI(t, append(args, "table", "-workers", "8")...); stripCache(par) != stripCache(table) {
+		t.Errorf("-metrics table differs between -workers 1 and 8:\n--- w1:\n%s--- w8:\n%s", table, par)
+	}
+	if out := runCLI(t, append(args, "json")...); !strings.Contains(out, `"BraidRuns": 24`) {
+		t.Errorf("-metrics json missing braid-run count:\n%s", out)
+	}
+	if out := runCLI(t, append(args, "prom")...); !strings.Contains(out, "braidio_braid_runs_total 24") ||
+		!strings.Contains(out, "braidio_energy_per_bit_joules_bucket") {
+		t.Errorf("-metrics prom missing expected families:\n%s", out)
+	}
+	cmd := exec.Command("go", "run", "./cmd/braidio-sim", "-metrics", "bogus")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("-metrics bogus should fail, got:\n%s", out)
+	}
+}
+
 // TestCLIBenchDiff: a record diffed against itself reports zero
 // regressions and exits 0.
 func TestCLIBenchDiff(t *testing.T) {

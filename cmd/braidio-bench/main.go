@@ -27,6 +27,7 @@ import (
 
 	"braidio/internal/experiments"
 	"braidio/internal/linkcache"
+	"braidio/internal/obs"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "parse `go test -bench` output from stdin and write a JSON benchmark record to this file")
 	benchDiff := flag.String("benchdiff", "", "baseline JSON record (from -benchjson); compares against the record named by the trailing argument and exits 1 on regression")
 	threshold := flag.Float64("threshold", 0.25, "fractional ns/op and allocs/op growth tolerated by -benchdiff before a benchmark counts as regressed")
+	metrics := flag.Bool("metrics", false, "instrument the experiment runs and print a Prometheus-style metrics exposition afterwards")
 	flag.Parse()
 
 	if *benchDiff != "" {
@@ -85,6 +87,15 @@ func main() {
 		}
 	}
 
+	var rec *obs.Recorder
+	if *metrics {
+		// Experiments build their engines internally, so instrumentation
+		// flows through the process-default recorder rather than an
+		// explicitly threaded pointer.
+		rec = obs.NewRecorder()
+		obs.SetDefault(rec)
+	}
+
 	failed := 0
 	for _, e := range selected {
 		rep, err := e.Run()
@@ -103,6 +114,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "braidio-bench: csv %s: %v\n", e.ID, err)
 				failed++
 			}
+		}
+	}
+	if rec != nil {
+		obs.SetDefault(nil)
+		snap := rec.Snapshot()
+		fmt.Println()
+		if err := snap.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "braidio-bench: metrics: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	if *stats {

@@ -54,10 +54,17 @@ func main() {
 	rounds := flag.Int("rounds", 12, "scheduling rounds per hub in -fleet mode")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file")
+	metricsMode := flag.String("metrics", "", "print an observability snapshot after the run: table, json, or prom (Prometheus text exposition)")
 	flag.Parse()
 
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	defer stopProfiles()
+
+	emitMetrics, err := setupMetrics(*metricsMode)
+	if err != nil {
+		fail(err)
+	}
+	defer emitMetrics()
 
 	if *list {
 		rows := [][]string{}

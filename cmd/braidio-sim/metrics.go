@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"braidio/internal/obs"
+)
+
+// setupMetrics installs a process-default metrics recorder (with an
+// event tracer) for -metrics mode and returns the function that renders
+// the snapshot after the run. An empty mode is a no-op: no recorder is
+// installed and the engines stay on their uninstrumented path.
+func setupMetrics(mode string) (func(), error) {
+	if mode == "" {
+		return func() {}, nil
+	}
+	switch mode {
+	case "table", "json", "prom":
+	default:
+		return nil, fmt.Errorf("unknown -metrics mode %q (table, json, prom)", mode)
+	}
+	rec := obs.NewRecorder()
+	rec.Tracer = obs.NewTracer(0)
+	obs.SetDefault(rec)
+	return func() {
+		obs.SetDefault(nil)
+		snap := rec.Snapshot()
+		switch mode {
+		case "json":
+			if err := snap.WriteJSON(os.Stdout); err != nil {
+				fail(err)
+			}
+		case "prom":
+			if err := snap.WritePrometheus(os.Stdout); err != nil {
+				fail(err)
+			}
+		default:
+			fmt.Println("\n== Metrics ==")
+			if err := snap.WriteTable(os.Stdout); err != nil {
+				fail(err)
+			}
+			if evs := rec.Tracer.Events(); len(evs) > 0 {
+				fmt.Printf("\n== Trace (last %d of %d events) ==\n", len(evs), rec.Tracer.Total())
+				const maxShown = 12
+				if len(evs) > maxShown {
+					evs = evs[len(evs)-maxShown:]
+				}
+				for _, ev := range evs {
+					fmt.Println(" ", ev)
+				}
+			}
+		}
+	}, nil
+}

@@ -85,3 +85,31 @@ func ExampleNewHub() {
 	// Output:
 	// delivered 2.2 MB; hub paid 89% of the bill
 }
+
+// ExampleWithMetrics attaches a metrics recorder to a pair and reads
+// mode occupancy and energy-per-bit off the snapshot after a transfer.
+func ExampleWithMetrics() {
+	watch, _ := braidio.DeviceByName("Apple Watch")
+	phone, _ := braidio.DeviceByName("iPhone 6S")
+
+	rec := braidio.NewMetricsRecorder()
+	pair := braidio.NewPair(watch, phone, 0.5, braidio.WithMetrics(rec))
+	if _, err := pair.Transfer(); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// The recorder saw the whole run: occupancy per mode, total drains,
+	// and the energy-per-bit distribution.
+	s := rec.Snapshot()
+	fmt.Printf("backscatter bits: %.0f%%\n", 100*s.ModeBitFraction(braidio.ModeBackscatter))
+	fmt.Printf("passive bits: %.0f%%\n", 100*s.ModeBitFraction(braidio.ModePassive))
+	fmt.Printf("energy/bit: %.0f nJ\n", 1e9*s.AvgEnergyPerBit())
+	fmt.Printf("drain ratio tracks battery ratio: %.2f vs %.2f\n",
+		s.DrainRatio(), float64(watch.Capacity/phone.Capacity))
+	// Output:
+	// backscatter bits: 92%
+	// passive bits: 8%
+	// energy/bit: 141 nJ
+	// drain ratio tracks battery ratio: 0.12 vs 0.12
+}

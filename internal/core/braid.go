@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"braidio/internal/energy"
 	"braidio/internal/frame"
 	"braidio/internal/linkcache"
+	"braidio/internal/obs"
 	"braidio/internal/phy"
 	"braidio/internal/units"
 )
@@ -56,6 +58,10 @@ type Braid struct {
 	// DisableLinkCache bypasses the shared linkcache and characterizes
 	// the PHY directly on every run.
 	DisableLinkCache bool
+	// Obs, when non-nil, receives run totals, per-mode occupancy, and
+	// solver metrics. Nil falls back to the process default recorder
+	// (obs.Active); attaching a recorder never changes a run's Result.
+	Obs *obs.Recorder
 }
 
 // DefaultDisableAllocationMemo seeds NewBraid's DisableAllocationMemo
@@ -226,6 +232,14 @@ func (b *Braid) RunInto(res *Result, s *RunScratch, b1, b2 *energy.Battery) erro
 	windowBits := payloadBits * float64(b.ScheduleWindow)
 	prevMode := phy.ModeActive // sessions start on the active radio (§4.2)
 
+	// Observability: rec == nil is the common case and every record site
+	// below guards on it, so the uninstrumented run costs one pointer
+	// compare per site and zero allocations. Per-mode air time is
+	// accumulated locally and recorded once per run (one fixed-point
+	// quantization per mode per run, and no atomics inside the loop).
+	rec := obs.Active(b.Obs)
+	var modeTime [obs.NumModes]float64
+
 	// Mode-switch counting accumulates fractional windows in float64 and
 	// rounds once at the end; truncating per epoch (as this loop once
 	// did) systematically undercounts while SwitchEnergy1/2 still charge
@@ -251,6 +265,10 @@ func (b *Braid) RunInto(res *Result, s *RunScratch, b1, b2 *energy.Battery) erro
 			res.AllocReuses++
 		} else {
 			var alloc *Allocation
+			var solveStart time.Time
+			if rec != nil {
+				solveStart = time.Now()
+			}
 			if b.Optimizer != nil {
 				a, err := b.Optimizer(links, e1, e2)
 				if err != nil {
@@ -265,6 +283,9 @@ func (b *Braid) RunInto(res *Result, s *RunScratch, b1, b2 *energy.Battery) erro
 					return err
 				}
 				alloc = &s.alloc
+			}
+			if rec != nil {
+				rec.LPSolveLatency.Observe(float64(time.Since(solveStart)))
 			}
 			aLinks, p, projBits = alloc.Links, alloc.P, alloc.Bits
 			res.LPSolves++
@@ -403,6 +424,9 @@ func (b *Braid) RunInto(res *Result, s *RunScratch, b1, b2 *energy.Battery) erro
 		res.SwitchEnergy2 += units.Joule(windows * swRX)
 		for i, l := range aLinks {
 			res.ModeBits[l.Mode] += windows * payloadBits * float64(counts[i])
+			if rec != nil && counts[i] > 0 {
+				modeTime[l.Mode] += windows * payloadBits * float64(counts[i]) / float64(l.Good)
+			}
 		}
 		prevMode = endMode
 		if partial {
@@ -411,6 +435,27 @@ func (b *Braid) RunInto(res *Result, s *RunScratch, b1, b2 *energy.Battery) erro
 	}
 	res.Switches = int(math.Round(switchesF))
 	s.counts, s.remainders = counts, remainders
+	if rec != nil {
+		rec.BraidRuns.Add(1)
+		rec.Epochs.Add(uint64(res.Epochs))
+		rec.LPSolves.Add(uint64(res.LPSolves))
+		rec.AllocReuses.Add(uint64(res.AllocReuses))
+		rec.Switches.Add(uint64(res.Switches))
+		rec.Bits.Add(res.Bits)
+		rec.AirTime.Add(float64(res.Duration))
+		rec.DrainTX.Add(float64(res.Drain1))
+		rec.DrainRX.Add(float64(res.Drain2))
+		rec.SwitchEnergy.Add(float64(res.SwitchEnergy1 + res.SwitchEnergy2))
+		for m, bits := range res.ModeBits {
+			rec.ModeBits[m].Add(bits)
+		}
+		for i := range modeTime {
+			rec.ModeTime[i].Add(modeTime[i])
+		}
+		if res.Bits > 0 {
+			rec.EnergyPerBit.Observe(float64(res.Drain1+res.Drain2) / res.Bits)
+		}
+	}
 	return nil
 }
 

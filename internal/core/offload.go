@@ -191,6 +191,26 @@ func SolveEq1(links []phy.ModeLink, e1, e2 units.Joule) (*Allocation, error) {
 		aRow[i] = float64(l.T) - ratio*float64(l.R)
 		ones[i] = 1
 	}
+	// Per-bit costs sit many orders of magnitude below 1, which puts the
+	// proportionality row's entries near the simplex solver's absolute
+	// pivot tolerance and lets a near-eps pivot corrupt the well-scaled
+	// Σp = 1 row. Both the row (= 0) and the objective are invariant
+	// under positive scaling, so normalize each by its largest magnitude.
+	scaleRow := func(row []float64) {
+		maxAbs := 0.0
+		for _, v := range row {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs > 0 {
+			for i := range row {
+				row[i] /= maxAbs
+			}
+		}
+	}
+	scaleRow(aRow)
+	scaleRow(c)
 	sol, err := lp.Solve(&lp.Problem{C: c, A: [][]float64{ones, aRow}, B: []float64{1, 0}})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"braidio/internal/phy"
+	"braidio/internal/rng"
+	"braidio/internal/units"
+)
+
+// randomLinks draws a random link set: 2–4 links with per-bit costs
+// log-uniform over [1e-9, 1e-5] J/bit — the span from backscatter to a
+// starved active radio. Optimize only reads T and R.
+func randomLinks(stream *rng.Stream) []phy.ModeLink {
+	n := 2 + stream.Intn(3)
+	links := make([]phy.ModeLink, n)
+	cost := func() units.JoulesPerBit {
+		return units.JoulesPerBit(math.Pow(10, -9+4*stream.Float64()))
+	}
+	for i := range links {
+		links[i] = phy.ModeLink{Mode: phy.Modes[i%len(phy.Modes)], Rate: units.Rate1M, Good: units.Rate1M, T: cost(), R: cost()}
+	}
+	return links
+}
+
+// randomBudgets draws battery budgets with a log-uniform E1:E2 ratio
+// over [1e-3, 1e3] — the asymmetry span of the Fig. 1 catalog.
+func randomBudgets(stream *rng.Stream) (units.Joule, units.Joule) {
+	e2 := units.Joule(1 + 99*stream.Float64())
+	ratio := math.Pow(10, -3+6*stream.Float64())
+	return units.Joule(ratio) * e2, e2
+}
+
+// TestOptimizeProperties is the Eq. (1) property suite: for randomized
+// link models and battery ratios the solver must return a valid simplex
+// point, deliver positive bits, track the battery ratio with its
+// consumption ratio whenever it mixes modes, and never fall below the
+// exact Eq. (1) LP solution.
+func TestOptimizeProperties(t *testing.T) {
+	stream := rng.New(1)
+	const trials = 500
+	mixes, eq1Checked := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		links := randomLinks(stream)
+		e1, e2 := randomBudgets(stream)
+		a, err := Optimize(links, e1, e2)
+		if err != nil {
+			t.Fatalf("trial %d: Optimize: %v", trial, err)
+		}
+
+		// Σp_i = 1 with every fraction in [0, 1].
+		sum := 0.0
+		positives := 0
+		for i, p := range a.P {
+			if p < -1e-12 || p > 1+1e-12 {
+				t.Fatalf("trial %d: fraction %d = %v outside [0,1]", trial, i, p)
+			}
+			if p > 1e-9 {
+				positives++
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("trial %d: Σp = %v, want 1", trial, sum)
+		}
+		if !(a.Bits > 0) {
+			t.Fatalf("trial %d: non-positive bits %v", trial, a.Bits)
+		}
+
+		// Consumption-ratio tracking: a mixed solution is ratio-matched by
+		// construction — the energy drawn at the two endpoints, Bits·TX
+		// and Bits·RX, must split exactly as the battery ratio E1:E2.
+		batRatio := float64(e1) / float64(e2)
+		if positives >= 2 {
+			mixes++
+			consRatio := float64(a.TX) / float64(a.RX)
+			if math.Abs(consRatio-batRatio) > 1e-6*batRatio {
+				t.Fatalf("trial %d: mixed solution consumption ratio %v does not track battery ratio %v",
+					trial, consRatio, batRatio)
+			}
+		}
+
+		// Cross-check against the exact Eq. (1) LP: when the proportional
+		// program is feasible, its solution is one of the candidates
+		// Optimize enumerates, so Optimize can never deliver fewer bits.
+		if eq1, err := SolveEq1(links, e1, e2); err == nil {
+			eq1Checked++
+			eq1Sum := 0.0
+			for _, p := range eq1.P {
+				eq1Sum += p
+			}
+			if math.Abs(eq1Sum-1) > 1e-9 {
+				t.Fatalf("trial %d: SolveEq1 Σp = %v, want 1", trial, eq1Sum)
+			}
+			consRatio := float64(eq1.TX) / float64(eq1.RX)
+			if math.Abs(consRatio-batRatio) > 1e-6*batRatio {
+				t.Fatalf("trial %d: SolveEq1 consumption ratio %v vs battery ratio %v", trial, consRatio, batRatio)
+			}
+			if a.Bits < eq1.Bits*(1-1e-9) {
+				t.Fatalf("trial %d: Optimize bits %v below Eq.(1) bits %v", trial, a.Bits, eq1.Bits)
+			}
+		}
+	}
+	if mixes == 0 {
+		t.Fatal("property suite never exercised a mixed allocation — generator broken")
+	}
+	if eq1Checked == 0 {
+		t.Fatal("property suite never exercised a feasible Eq.(1) program — generator broken")
+	}
+	t.Logf("%d trials: %d mixed optima, %d Eq.(1)-feasible cross-checks", trials, mixes, eq1Checked)
+}
+
+// TestEnergyPerBitMonotoneInMargin is the monotonicity property: as the
+// SNR margin grows — modelled as pointwise per-bit cost decreases, which
+// is what a larger decode margin buys (faster rates at the same power) —
+// the deliverable bits from fixed budgets cannot shrink, so energy per
+// bit (E1+E2 spent per deliverable bit) is monotone non-increasing.
+func TestEnergyPerBitMonotoneInMargin(t *testing.T) {
+	stream := rng.New(2)
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		links := randomLinks(stream)
+		e1, e2 := randomBudgets(stream)
+		base, err := Optimize(links, e1, e2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Grow the margin in steps: each step improves every link's costs
+		// by an independent factor in (0, 1].
+		prevBits := base.Bits
+		improved := append([]phy.ModeLink(nil), links...)
+		for step := 0; step < 4; step++ {
+			for i := range improved {
+				improved[i].T *= units.JoulesPerBit(0.5 + 0.5*stream.Float64())
+				improved[i].R *= units.JoulesPerBit(0.5 + 0.5*stream.Float64())
+			}
+			a, err := Optimize(improved, e1, e2)
+			if err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			if a.Bits < prevBits*(1-1e-12) {
+				t.Fatalf("trial %d step %d: bits fell from %v to %v under pointwise better links (energy/bit rose from %v to %v J/bit)",
+					trial, step, prevBits, a.Bits,
+					float64(e1+e2)/prevBits, float64(e1+e2)/a.Bits)
+			}
+			prevBits = a.Bits
+		}
+	}
+}
+
+// TestEnergyPerBitMonotoneInModelMargin runs the same monotonicity
+// claim through the real PHY: shrinking the calibrated model's fade
+// margin (more SNR headroom) must never raise the braid's energy per
+// delivered bit at a fixed distance and battery pair.
+func TestEnergyPerBitMonotoneInModelMargin(t *testing.T) {
+	prevEPB := math.Inf(1)
+	for _, margin := range []float64{12, 9, 6, 3, 0} {
+		m := phy.NewModel()
+		m.FadeMargin = units.DB(margin)
+		links := m.Characterize(0.5)
+		if len(links) == 0 {
+			continue
+		}
+		a, err := Optimize(links, 1, 10)
+		if err != nil {
+			t.Fatalf("margin %v: %v", margin, err)
+		}
+		epb := float64(1+10) / a.Bits
+		if epb > prevEPB*(1+1e-12) {
+			t.Errorf("energy/bit rose from %v to %v J/bit when fade margin shrank to %v dB", prevEPB, epb, margin)
+		}
+		prevEPB = epb
+	}
+	if math.IsInf(prevEPB, 1) {
+		t.Fatal("no margin produced a usable link set")
+	}
+}

@@ -57,3 +57,62 @@ func FuzzEncodeDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeMutated starts from a *valid* frame built out of the fuzz
+// input, then applies a fuzz-chosen mutation — a single bit flip or a
+// truncation — before decoding. Unlike FuzzDecode's arbitrary buffers,
+// every input here is one mutation away from well-formed, which
+// concentrates coverage on the validation boundaries: a bit flip must
+// surface as ErrNoSync/ErrBadCRC/ErrBadLength (or, if it lands in the
+// preamble, still decode to the original frame), a truncation as
+// ErrTooShort/ErrBadLength — and the decoder must never panic or accept
+// a frame that differs from the original without a CRC-colliding flip.
+func FuzzDecodeMutated(f *testing.F) {
+	f.Add(uint16(7), []byte("seed payload"), uint16(12), false)
+	f.Add(uint16(0), []byte{}, uint16(0), true)
+	f.Add(uint16(65535), bytes.Repeat([]byte{0x5A}, MaxPayload), uint16(3), true)
+	f.Fuzz(func(t *testing.T, seq uint16, payload []byte, pos uint16, truncate bool) {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		h := Header{Type: TypeData, Mode: 1, Seq: seq, Battery: 42, Ack: seq ^ 0xFFFF}
+		good, err := Encode(h, payload)
+		if err != nil {
+			t.Fatalf("encode of valid input failed: %v", err)
+		}
+		mutated := append([]byte(nil), good...)
+		if truncate {
+			mutated = mutated[:int(pos)%len(mutated)]
+		} else {
+			i := int(pos) % (8 * len(mutated))
+			mutated[i/8] ^= 1 << (i % 8)
+		}
+		// The only requirement on the mutated buffer is a clean verdict:
+		// error out or decode — never panic.
+		fr, err := Decode(mutated)
+		if err != nil {
+			return
+		}
+		// Accepted anyway: either the mutation hit the inert preamble (the
+		// frame must match the original) or the CRC collided (flip within
+		// the checked region) — then the fixpoint property must still hold.
+		if !truncate && int(pos)%(8*len(good))/8 < PreambleLen {
+			want := h
+			want.Length = uint8(len(payload))
+			if fr.Header != want || !bytes.Equal(fr.Payload, payload) {
+				t.Fatalf("preamble flip changed the decoded frame: %+v", fr)
+			}
+		}
+		re, err := Encode(fr.Header, fr.Payload)
+		if err != nil {
+			t.Fatalf("accepted mutated frame failed to re-encode: %v", err)
+		}
+		fr2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if fr2.Header != fr.Header || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("decode/encode fixpoint broken after mutation: %+v vs %+v", fr, fr2)
+		}
+	})
+}

@@ -2,7 +2,11 @@
 
 package hub
 
-import "testing"
+import (
+	"testing"
+
+	"braidio/internal/obs"
+)
 
 // TestHubRunSteadyStateAllocs gates the pooled-scratch claim: once a
 // run's fixed setup (Result, batteries, pooled scratch warm-up) is paid,
@@ -31,5 +35,31 @@ func TestHubRunSteadyStateAllocs(t *testing.T) {
 	t.Logf("fixed setup ≈ %.0f allocs; steady-state ≈ %.3f allocs/round (%d members)", short, perRound, 3)
 	if perRound > 0.5 {
 		t.Errorf("steady-state allocations: %.2f allocs/round, want ~0 (pooled scratch regressed)", perRound)
+	}
+}
+
+// TestHubRunSteadyStateAllocsInstrumented is the same gate with a
+// metrics recorder attached: the instrumented hot path must add zero
+// steady-state allocations per round — every record primitive is an
+// atomic add into preallocated storage.
+func TestHubRunSteadyStateAllocsInstrumented(t *testing.T) {
+	rec := obs.NewRecorder()
+	run := func(rounds int) float64 {
+		return testing.AllocsPerRun(20, func() {
+			h := bodyNetwork(t)
+			h.Workers = 1
+			h.Obs = rec
+			if _, err := h.Run(3600, rounds); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	const extra = 100
+	short := run(5)
+	long := run(5 + extra)
+	perRound := (long - short) / extra
+	t.Logf("instrumented: fixed setup ≈ %.0f allocs; steady-state ≈ %.3f allocs/round", short, perRound)
+	if perRound > 0.5 {
+		t.Errorf("instrumented steady-state allocations: %.2f allocs/round, want ~0", perRound)
 	}
 }

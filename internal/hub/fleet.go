@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"braidio/internal/obs"
 	"braidio/internal/par"
 	"braidio/internal/rng"
 	"braidio/internal/units"
@@ -47,6 +48,11 @@ type Fleet struct {
 	Seed uint64
 	// Build constructs each shard's hub.
 	Build Builder
+	// Obs, when non-nil, is propagated to every shard hub whose Builder
+	// left Obs unset. Shards record concurrently into one recorder; all
+	// record operations commute, so Canonical snapshots stay
+	// bit-identical at any Workers count.
+	Obs *obs.Recorder
 }
 
 // FleetResult aggregates a fleet run.
@@ -140,6 +146,9 @@ func (f *Fleet) Run(horizon units.Second, rounds int) (*FleetResult, error) {
 		// The fleet parallelizes across shards; nested per-member pools
 		// would oversubscribe GOMAXPROCS for no gain.
 		h.Workers = 1
+		if h.Obs == nil {
+			h.Obs = f.Obs
+		}
 		r, err := h.Run(horizon, rounds)
 		if err != nil {
 			errs[i] = fmt.Errorf("hub: fleet shard %d: %w", i, err)

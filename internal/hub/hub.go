@@ -50,6 +50,7 @@ import (
 	"braidio/internal/energy"
 	"braidio/internal/faults"
 	"braidio/internal/linkcache"
+	"braidio/internal/obs"
 	"braidio/internal/par"
 	"braidio/internal/phy"
 	"braidio/internal/sim"
@@ -95,6 +96,12 @@ type Hub struct {
 	// Result is bit-identical at any value — Workers trades only
 	// wall-clock.
 	Workers int
+	// Obs, when non-nil, receives round/replan/quarantine counters and
+	// is propagated to every member braid. Nil falls back to the process
+	// default recorder (obs.Active). Canonical metric snapshots are
+	// bit-identical at any Workers count; attaching a recorder never
+	// changes a Result.
+	Obs *obs.Recorder
 
 	device  energy.Device
 	model   *phy.Model
@@ -295,9 +302,11 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 	}
 	scr := acquireScratch(len(h.members))
 	defer scratchPool.Put(scr)
+	rec := obs.Active(h.Obs)
 	for i, m := range h.members {
 		ms := &scr.members[i]
 		ms.braid = core.DefaultBraid(h.model, m.Distance)
+		ms.braid.Obs = h.Obs
 		if m.MinRate > 0 {
 			minRate := m.MinRate
 			ms.braid.Optimizer = func(links []phy.ModeLink, e1, e2 units.Joule) (*core.Allocation, error) {
@@ -318,6 +327,9 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 	for round := 0; round < rounds && !hubBatt.Empty(); round++ {
 		now = units.Second(round) * slice
 		hubSnap = *hubBatt
+		if rec != nil {
+			rec.HubRounds.Add(1)
+		}
 
 		// Phase 1: plan all members against the immutable snapshot.
 		par.For(h.Workers, len(h.members), plan)
@@ -337,7 +349,11 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 			if ms.outage {
 				mr.OutageRounds++
 				res.OutageRounds++
-				h.strikeMember(mr, &scr.strikes[i], round,
+				if rec != nil {
+					rec.OutageRounds.Add(1)
+					rec.Trace(obs.Event{Kind: obs.EvOutage, Round: round, Member: i, Time: float64(now)})
+				}
+				h.strikeMember(mr, &scr.strikes[i], round, i, rec, now,
 					fmt.Errorf("hub: member %s: carrier lost at t=%vs", m.Device.Name, float64(now)), res)
 				continue
 			}
@@ -353,6 +369,10 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 					// true remaining energies. RunInto drains the real
 					// batteries directly in this path.
 					res.Replans++
+					if rec != nil {
+						rec.Replans.Add(1)
+						rec.Trace(obs.Event{Kind: obs.EvReplan, Round: round, Member: i, Time: float64(now)})
+					}
 					ms.err = ms.braid.RunInto(&ms.plan, &ms.scr, memberBatts[i], hubBatt)
 				} else {
 					memberBatts[i].Drain(run.Drain1)
@@ -360,12 +380,15 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 				}
 			}
 			if ms.err != nil {
-				h.strikeMember(mr, &scr.strikes[i], round,
+				h.strikeMember(mr, &scr.strikes[i], round, i, rec, now,
 					fmt.Errorf("hub: member %s: %w", m.Device.Name, ms.err), res)
 				continue
 			}
 			run := &ms.plan
 			scr.strikes[i] = 0
+			if rec != nil {
+				rec.MemberRounds.Add(1)
+			}
 			mr.Bits += run.Bits
 			res.LPSolves += run.LPSolves
 			res.AllocReuses += run.AllocReuses
@@ -396,6 +419,10 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 			if hubBatt.Empty() {
 				if res.HubDiedRound < 0 {
 					res.HubDiedRound = round
+					if rec != nil {
+						rec.HubDeaths.Add(1)
+						rec.Trace(obs.Event{Kind: obs.EvHubDeath, Round: round, Member: -1, Time: float64(now)})
+					}
 				}
 				break
 			}
@@ -447,8 +474,10 @@ func (h *Hub) planMember(i int, scr *runScratch, res *Result, memberBatts []*ene
 
 // strikeMember records one failed round for a member and quarantines it
 // once the strike budget is exhausted, wrapping ErrMemberQuarantined
-// around the final cause.
-func (h *Hub) strikeMember(mr *MemberResult, strikes *int, round int, cause error, res *Result) {
+// around the final cause. member and now feed the quarantine trace
+// event; rec may be nil.
+func (h *Hub) strikeMember(mr *MemberResult, strikes *int, round, member int, rec *obs.Recorder,
+	now units.Second, cause error, res *Result) {
 	*strikes++
 	if *strikes < h.strikeLimit() {
 		return
@@ -457,6 +486,10 @@ func (h *Hub) strikeMember(mr *MemberResult, strikes *int, round int, cause erro
 	mr.QuarantinedRound = round
 	mr.Err = fmt.Errorf("%w after %d consecutive failed rounds: %w", ErrMemberQuarantined, *strikes, cause)
 	res.Quarantines++
+	if rec != nil {
+		rec.Quarantines.Add(1)
+		rec.Trace(obs.Event{Kind: obs.EvQuarantine, Round: round, Member: member, Time: float64(now)})
+	}
 }
 
 // HubShare returns the fraction of the joint radio bill the hub paid

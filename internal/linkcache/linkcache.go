@@ -80,6 +80,7 @@ type shard struct {
 	bers  map[pointKey]float64
 
 	hits, misses atomic.Uint64
+	evictions    atomic.Uint64
 
 	// Pad shards apart so neighbouring stripes' counters do not share a
 	// cache line under concurrent planners.
@@ -163,6 +164,7 @@ func Characterize(m *phy.Model, d units.Meter) []phy.ModeLink {
 	sh.mu.Lock()
 	if _, ok := sh.links[k]; !ok && len(sh.links) >= maxPerShard {
 		evictOne(sh.links)
+		sh.evictions.Add(1)
 	}
 	sh.links[k] = ls
 	sh.mu.Unlock()
@@ -189,6 +191,7 @@ func SNR(m *phy.Model, mode phy.Mode, r units.BitRate, d units.Meter) units.DB {
 	sh.mu.Lock()
 	if _, ok := sh.snrs[k]; !ok && len(sh.snrs) >= maxPerShard {
 		evictOne(sh.snrs)
+		sh.evictions.Add(1)
 	}
 	sh.snrs[k] = v
 	sh.mu.Unlock()
@@ -215,6 +218,7 @@ func BER(m *phy.Model, mode phy.Mode, r units.BitRate, d units.Meter) float64 {
 	sh.mu.Lock()
 	if _, ok := sh.bers[k]; !ok && len(sh.bers) >= maxPerShard {
 		evictOne(sh.bers)
+		sh.evictions.Add(1)
 	}
 	sh.bers[k] = v
 	sh.mu.Unlock()
@@ -226,6 +230,9 @@ type Stats struct {
 	// Hits and Misses count lookups served from / added to the memo
 	// since the last ResetStats, summed across shards.
 	Hits, Misses uint64
+	// Evictions counts resident entries dropped by full shards since the
+	// last ResetStats, summed across shards.
+	Evictions uint64
 	// Entries is the current resident entry count across all tables and
 	// shards.
 	Entries int
@@ -241,6 +248,7 @@ func Snapshot() Stats {
 		sh := &shards[i]
 		s.Hits += sh.hits.Load()
 		s.Misses += sh.misses.Load()
+		s.Evictions += sh.evictions.Load()
 		sh.mu.RLock()
 		s.Entries += len(sh.links) + len(sh.snrs) + len(sh.bers)
 		sh.mu.RUnlock()
@@ -253,6 +261,7 @@ func ResetStats() {
 	for i := range shards {
 		shards[i].hits.Store(0)
 		shards[i].misses.Store(0)
+		shards[i].evictions.Store(0)
 	}
 }
 

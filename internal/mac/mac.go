@@ -33,6 +33,7 @@ import (
 	"braidio/internal/frame"
 	"braidio/internal/linkcache"
 	"braidio/internal/modem"
+	"braidio/internal/obs"
 	"braidio/internal/phy"
 	"braidio/internal/rng"
 	"braidio/internal/units"
@@ -112,6 +113,11 @@ type Config struct {
 	// written first. Trace output is for offline analysis of a
 	// session's braiding behaviour.
 	Trace io.Writer
+	// Obs, when non-nil, receives frame/fallback/backoff counters and
+	// energy totals. Nil falls back to the process default recorder
+	// (obs.Active, resolved once at NewSession); attaching a recorder
+	// never changes session behaviour.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns the configuration used by the integration tests.
@@ -185,6 +191,7 @@ type Session struct {
 	stats        Stats
 	dead         bool
 	traceStarted bool
+	rec          *obs.Recorder // resolved obs.Active(cfg.Obs), may be nil
 
 	env faults.Env // scratch, reset per attempt
 
@@ -222,6 +229,7 @@ func NewSession(cfg Config, txBatt, rxBatt *energy.Battery) (*Session, error) {
 		dist:         cfg.Distance,
 		lastFallback: math.MinInt / 2,
 		flapDeadline: -1,
+		rec:          obs.Active(cfg.Obs),
 	}
 	if cfg.Walk != nil {
 		s.dist = cfg.Walk.DistanceAt(0)
@@ -304,9 +312,17 @@ func (s *Session) chargeFrame(m phy.Mode, r units.BitRate, wireBits float64) boo
 // bit-identical to the unscaled path).
 func (s *Session) chargeFrameScaled(m phy.Mode, r units.BitRate, wireBits, txScale, rxScale float64) bool {
 	t := units.Second(wireBits / float64(r) / phy.ProtocolEfficiency(m))
-	okTX := s.txBatt.Drain(units.Joule(txScale) * units.Energy(phy.TXPower(m, r), t))
-	okRX := s.rxBatt.Drain(units.Joule(rxScale) * units.Energy(phy.RXPower(m, r), t))
+	eTX := units.Joule(txScale) * units.Energy(phy.TXPower(m, r), t)
+	eRX := units.Joule(rxScale) * units.Energy(phy.RXPower(m, r), t)
+	okTX := s.txBatt.Drain(eTX)
+	okRX := s.rxBatt.Drain(eRX)
 	s.stats.AirTime += t
+	if s.rec != nil {
+		s.rec.AirTime.Add(float64(t))
+		s.rec.ModeTime[m].Add(float64(t))
+		s.rec.DrainTX.Add(float64(eTX))
+		s.rec.DrainRX.Add(float64(eRX))
+	}
 	if !okTX || !okRX {
 		s.dead = true
 		return false
@@ -400,6 +416,9 @@ func (s *Session) probeAll() {
 			s.snrEWMA[m] = float64(snr) + env.SNROffset
 		}
 		s.stats.Probes++
+		if s.rec != nil {
+			s.rec.Probes.Add(1)
+		}
 		s.chargeFrameScaled(m, r, probeBits, env.TXDrain, env.RXDrain)
 	}
 }
@@ -453,6 +472,9 @@ func (s *Session) recompute() error {
 		s.sched.Retarget(alloc.Links, alloc.P)
 	}
 	s.stats.Recomputes++
+	if s.rec != nil {
+		s.rec.Recomputes.Add(1)
+	}
 	return nil
 }
 
@@ -466,6 +488,11 @@ func (s *Session) switchTo(m phy.Mode, r units.BitRate) {
 	s.rxBatt.Drain(rx)
 	s.current = m
 	s.stats.ModeSwitches++
+	if s.rec != nil {
+		s.rec.Switches.Add(1)
+		s.rec.SwitchEnergy.Add(float64(tx + rx))
+		s.rec.Trace(obs.Event{Kind: obs.EvModeSwitch, Mode: m, Round: s.frames, Member: -1, Time: float64(s.stats.AirTime)})
+	}
 }
 
 // strike records one failed recovery attempt. When the configured budget
@@ -478,6 +505,10 @@ func (s *Session) strike(cause error) error {
 		limit = 1
 	}
 	if s.strikes >= limit {
+		if s.rec != nil {
+			s.rec.LinkDeaths.Add(1)
+			s.rec.Trace(obs.Event{Kind: obs.EvLinkDead, Round: s.frames, Member: -1, Time: float64(s.stats.AirTime)})
+		}
 		return fmt.Errorf("%w (%d attempts): %w", core.ErrLinkDead, s.strikes, cause)
 	}
 	return nil
@@ -495,6 +526,9 @@ func (s *Session) strike(cause error) error {
 func (s *Session) fallback() error {
 	if s.frames-s.lastFallback < s.cfg.FallbackCooldown {
 		s.stats.FallbacksSuppressed++
+		if s.rec != nil {
+			s.rec.FallbacksSuppressed.Add(1)
+		}
 		return nil
 	}
 	flap := s.frames <= s.flapDeadline
@@ -505,6 +539,10 @@ func (s *Session) fallback() error {
 	}
 	s.lastFallback = s.frames
 	s.stats.Fallbacks++
+	if s.rec != nil {
+		s.rec.Fallbacks.Add(1)
+		s.rec.Trace(obs.Event{Kind: obs.EvFallback, Round: s.frames, Member: -1, Time: float64(s.stats.AirTime)})
+	}
 	s.switchTo(phy.ModeActive, units.Rate1M)
 	if flap && s.cfg.FallbackBackoffBase > 0 {
 		s.reentryUntil = s.frames + s.backoffFrames()
@@ -554,6 +592,9 @@ func (s *Session) SendFrame(payloadLen int) (bool, error) {
 		} else if s.inBackoff() {
 			// Waiting out the backoff: defer probing and re-admission.
 			s.stats.BackoffWaits++
+			if s.rec != nil {
+				s.rec.BackoffWaits.Add(1)
+			}
 		} else if (s.frames/s.cfg.RecomputeFrames)%2 == 0 {
 			// Every few recomputes, re-probe to keep estimates fresh for
 			// modes the current allocation never exercises — the only way
@@ -605,6 +646,12 @@ func (s *Session) SendFrame(payloadLen int) (bool, error) {
 			s.stats.FramesDelivered++
 			s.stats.ModeFrames[mode]++
 			s.stats.PayloadBits += float64(8 * payloadLen)
+			if s.rec != nil {
+				s.rec.FramesDelivered.Add(1)
+				s.rec.Bits.Add(float64(8 * payloadLen))
+				s.rec.ModeBits[mode].Add(float64(8 * payloadLen))
+				s.rec.Retransmissions.Add(uint64(attempt))
+			}
 			s.nextSeq++
 			s.strikes = 0
 			if s.inOutage {
@@ -619,6 +666,10 @@ func (s *Session) SendFrame(payloadLen int) (bool, error) {
 	}
 	s.stats.FramesLost++
 	s.inOutage = true
+	if s.rec != nil {
+		s.rec.FramesLost.Add(1)
+		s.rec.Retransmissions.Add(uint64(s.cfg.MaxRetries + 1))
+	}
 	s.trace(mode, rate, s.cfg.MaxRetries+1, false)
 	if mode == phy.ModeActive {
 		// The safety net itself is failing: burn a strike.

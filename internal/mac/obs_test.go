@@ -1,0 +1,79 @@
+package mac
+
+import (
+	"testing"
+
+	"braidio/internal/energy"
+	"braidio/internal/obs"
+	"braidio/internal/phy"
+)
+
+// runSessionWith runs a fixed session workload and returns its stats;
+// the recorder (may be nil) is attached through the config.
+func runSessionWith(t *testing.T, rec *obs.Recorder) Stats {
+	t.Helper()
+	cfg := DefaultConfig(phy.NewModel(), 0.5, 7)
+	cfg.Obs = rec
+	s, err := NewSession(cfg, energy.NewBattery(0.05), energy.NewBattery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600 && !s.Dead(); i++ {
+		if _, err := s.SendFrame(240); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s.Stats()
+}
+
+// TestSessionRecorderObservational proves the MAC's recorder is
+// strictly observational (identical Stats with and without it) and that
+// the recorded counters match the session's own accounting.
+func TestSessionRecorderObservational(t *testing.T) {
+	bare := runSessionWith(t, nil)
+	rec := obs.NewRecorder()
+	rec.Tracer = obs.NewTracer(256)
+	with := runSessionWith(t, rec)
+
+	if bare.FramesDelivered != with.FramesDelivered || bare.AirTime != with.AirTime ||
+		bare.ModeSwitches != with.ModeSwitches || bare.Recomputes != with.Recomputes {
+		t.Errorf("recorder changed session behaviour:\nbare: %+v\nwith: %+v", bare, with)
+	}
+
+	s := rec.Snapshot()
+	if s.FramesDelivered != uint64(with.FramesDelivered) {
+		t.Errorf("FramesDelivered = %d, want %d", s.FramesDelivered, with.FramesDelivered)
+	}
+	if s.FramesLost != uint64(with.FramesLost) {
+		t.Errorf("FramesLost = %d, want %d", s.FramesLost, with.FramesLost)
+	}
+	if s.Retransmissions != uint64(with.Retransmissions) {
+		t.Errorf("Retransmissions = %d, want %d", s.Retransmissions, with.Retransmissions)
+	}
+	if s.Probes != uint64(with.Probes) {
+		t.Errorf("Probes = %d, want %d", s.Probes, with.Probes)
+	}
+	if s.Recomputes != uint64(with.Recomputes) {
+		t.Errorf("Recomputes = %d, want %d", s.Recomputes, with.Recomputes)
+	}
+	if s.Switches != uint64(with.ModeSwitches) {
+		t.Errorf("Switches = %d, want %d", s.Switches, with.ModeSwitches)
+	}
+	if s.Fallbacks != uint64(with.Fallbacks) || s.FallbacksSuppressed != uint64(with.FallbacksSuppressed) {
+		t.Errorf("fallback counters (%d/%d) disagree with stats (%d/%d)",
+			s.Fallbacks, s.FallbacksSuppressed, with.Fallbacks, with.FallbacksSuppressed)
+	}
+	if diff := s.Bits - with.PayloadBits; diff > 1.0/256 || diff < -1.0/256 {
+		t.Errorf("Bits = %v, want %v", s.Bits, with.PayloadBits)
+	}
+	// Every mode switch must have produced a trace event.
+	switches := 0
+	for _, ev := range rec.Tracer.Events() {
+		if ev.Kind == obs.EvModeSwitch {
+			switches++
+		}
+	}
+	if rec.Tracer.Total() <= uint64(rec.Tracer.Cap()) && switches != with.ModeSwitches {
+		t.Errorf("traced %d mode switches, stats say %d", switches, with.ModeSwitches)
+	}
+}

@@ -1,0 +1,43 @@
+//go:build !race
+
+package obs
+
+import (
+	"testing"
+
+	"braidio/internal/phy"
+)
+
+// TestRecordPathAllocs gates the zero-allocation claim on every record
+// primitive the engines call from their hot paths. Excluded under -race
+// (the detector instruments allocations).
+func TestRecordPathAllocs(t *testing.T) {
+	r := NewRecorder()
+	r.Tracer = NewTracer(64)
+	if a := testing.AllocsPerRun(200, func() {
+		r.BraidRuns.Add(1)
+		r.Bits.Add(123.456)
+		r.ModeBits[phy.ModeBackscatter].Add(99)
+		r.EnergyPerBit.Observe(2e-7)
+		r.LPSolveLatency.Observe(1500)
+		r.Trace(Event{Kind: obsEvent, Mode: phy.ModePassive, Round: 7, Member: -1, Time: 0.25})
+	}); a != 0 {
+		t.Fatalf("record path allocates %.1f allocs/op, want 0", a)
+	}
+}
+
+// obsEvent keeps the Trace call above from being specialized away.
+var obsEvent = EvModeSwitch
+
+// TestNilGuardAllocs pins the uninstrumented path: resolving and
+// guarding a nil recorder must not allocate.
+func TestNilGuardAllocs(t *testing.T) {
+	SetDefault(nil)
+	if a := testing.AllocsPerRun(200, func() {
+		if rec := Active(nil); rec != nil {
+			rec.BraidRuns.Add(1)
+		}
+	}); a != 0 {
+		t.Fatalf("nil-recorder guard allocates %.1f allocs/op, want 0", a)
+	}
+}

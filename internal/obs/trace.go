@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+
+	"braidio/internal/phy"
+)
+
+// EventKind identifies one traced engine event.
+type EventKind uint8
+
+// The traced event kinds.
+const (
+	// EvModeSwitch is a radio reconfiguration (the MAC's switchTo).
+	EvModeSwitch EventKind = iota
+	// EvFallback is an executed reversion to the active mode.
+	EvFallback
+	// EvReplan is a hub commit-time re-solve after snapshot shortfall.
+	EvReplan
+	// EvQuarantine is a hub member removed from the round-robin.
+	EvQuarantine
+	// EvHubDeath is the hub battery hitting empty mid-round.
+	EvHubDeath
+	// EvOutage is a member-round lost to an injected carrier dropout.
+	EvOutage
+	// EvLinkDead is a link declared dead after bounded recovery.
+	EvLinkDead
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvModeSwitch:
+		return "mode-switch"
+	case EvFallback:
+		return "fallback"
+	case EvReplan:
+		return "replan"
+	case EvQuarantine:
+		return "quarantine"
+	case EvHubDeath:
+		return "hub-death"
+	case EvOutage:
+		return "outage"
+	case EvLinkDead:
+		return "link-dead"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one traced engine event. Fields not meaningful for a kind
+// are zero (Member is -1 for pairwise sessions).
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Mode is the mode switched to (EvModeSwitch only).
+	Mode phy.Mode
+	// Round is the hub scheduling round, or the MAC frame index for
+	// session-level events.
+	Round int
+	// Member is the hub member index, -1 when not member-scoped.
+	Member int
+	// Time is the simulated timestamp in seconds (air time for MAC
+	// events, round start for hub events).
+	Time float64
+}
+
+// String renders the event for trace dumps.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvModeSwitch:
+		return fmt.Sprintf("t=%.3fs r=%d %v -> %v", e.Time, e.Round, e.Kind, e.Mode)
+	case EvHubDeath:
+		return fmt.Sprintf("t=%.3fs r=%d %v", e.Time, e.Round, e.Kind)
+	default:
+		if e.Member >= 0 {
+			return fmt.Sprintf("t=%.3fs r=%d member=%d %v", e.Time, e.Round, e.Member, e.Kind)
+		}
+		return fmt.Sprintf("t=%.3fs r=%d %v", e.Time, e.Round, e.Kind)
+	}
+}
+
+// Tracer is a bounded ring buffer of engine events: recording is
+// allocation-free and O(1), and once the buffer fills the oldest events
+// are overwritten (Total keeps counting, so droppage is visible).
+// Recording is mutex-serialized and safe for concurrent use, but the
+// interleaved *order* of events is deterministic only when all writers
+// are sequential (one session, one hub's commit phase) — concurrent
+// fleet shards sharing a tracer interleave nondeterministically.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	n     int
+	total uint64
+}
+
+// DefaultTraceCap is the ring capacity NewTracer uses for capacity <= 0.
+const DefaultTraceCap = 1024
+
+// NewTracer returns a tracer with a fixed ring of the given capacity
+// (DefaultTraceCap when non-positive). The ring is allocated up front;
+// Record never allocates.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (t *Tracer) Record(ev Event) {
+	t.mu.Lock()
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Total returns the number of events ever recorded, including any that
+// have been overwritten.
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int { return len(t.buf) }
