@@ -1,0 +1,188 @@
+// Command braidio-serve is the online multi-tenant planning daemon:
+// simulated devices register over HTTP/JSON, stream battery and link
+// updates, and read back Eq. (1) mode-fraction plans. Planning is
+// epoch-batched and dirty-set scheduled — each epoch re-solves only the
+// members whose inputs drifted past tolerance — with bounded admission
+// queues, load shedding, Prometheus metrics at /metrics, and an
+// optional journal from which a captured session replays
+// bit-identically.
+//
+// Usage:
+//
+//	braidio-serve -addr :8080                      # run the daemon
+//	braidio-serve -journal session.jsonl           # ... with capture
+//	braidio-serve -replay session.jsonl            # verify a capture
+//	braidio-serve -load -n 100000 -epochs 5        # self-contained load run
+//	braidio-serve -load -n 5000 -epochs 3 -check   # CI smoke (exit != 0 on failure)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"braidio/internal/obs"
+	"braidio/internal/serve"
+	"braidio/internal/units"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (load mode: target daemon; empty = in-process)")
+	epoch := flag.Duration("epoch", 500*time.Millisecond, "epoch interval (batching window for re-plans)")
+	ratioTol := flag.Float64("ratio-tol", 0.05, "battery-ratio drift tolerance before a member is re-planned")
+	distTol := flag.Float64("dist-tol", 0.05, "link-distance drift tolerance before a member is re-planned")
+	window := flag.Int("window", 64, "block-schedule window length (frame slots per plan)")
+	hubJ := flag.Float64("hub-j", 10, "hub-side energy budget E1 in joules")
+	queueCap := flag.Int("queue-cap", 1<<16, "admission queue bound; overflow is shed with 503")
+	workers := flag.Int("workers", 0, "planning pool size (0 = GOMAXPROCS; plans identical at any value)")
+	journalPath := flag.String("journal", "", "capture admitted ops and epoch digests to this JSONL file")
+	replayPath := flag.String("replay", "", "replay a captured journal, verify digests, and exit")
+	load := flag.Bool("load", false, "run the load generator instead of the daemon")
+	target := flag.String("target", "", "load mode: base URL of a running daemon (empty = self-contained in-process server)")
+	loadN := flag.Int("n", 100_000, "load mode: members to register")
+	loadEpochs := flag.Int("epochs", 5, "load mode: update+epoch rounds after registration")
+	loadDrift := flag.Float64("drift", 0.10, "load mode: fraction of members drifting past tolerance per round")
+	loadSeed := flag.Uint64("seed", 42, "load mode: generator seed")
+	check := flag.Bool("check", false, "load mode: verify dirty-set accounting via /metrics and exit non-zero on failure")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Workers:           *workers,
+		QueueCap:          *queueCap,
+		RatioTolerance:    *ratioTol,
+		DistanceTolerance: *distTol,
+		Window:            *window,
+		HubEnergy:         units.Joule(*hubJ),
+	}
+
+	switch {
+	case *replayPath != "":
+		if err := runReplay(*replayPath); err != nil {
+			fail(err)
+		}
+	case *load:
+		if err := runLoad(loadConfig{
+			target: *target, cfg: cfg, n: *loadN, epochs: *loadEpochs,
+			drift: *loadDrift, seed: *loadSeed, check: *check,
+		}); err != nil {
+			fail(err)
+		}
+	default:
+		if err := runDaemon(*addr, *epoch, cfg, *journalPath); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "braidio-serve:", err)
+	os.Exit(1)
+}
+
+// runDaemon serves until SIGINT/SIGTERM, then shuts down gracefully:
+// stop the epoch ticker, run one final flush epoch so every admitted
+// operation lands in a plan (and the journal), close the journal, drain
+// in-flight HTTP.
+func runDaemon(addr string, epochEvery time.Duration, cfg serve.Config, journalPath string) error {
+	rec := &obs.Recorder{}
+	cfg.Rec = rec
+	eng := serve.NewEngine(cfg)
+
+	var journal *serve.Journal
+	if journalPath != "" {
+		f, err := os.Create(journalPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		journal = serve.NewJournal(f, eng.Config())
+		eng.AttachJournal(journal)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: (&serve.Server{Engine: eng, Rec: rec}).Handler()}
+
+	// Epoch ticker: the single goroutine allowed to call RunEpoch.
+	// Ticker.Stop does not close the channel, so exit rides a quit
+	// channel instead of the range ending.
+	tick := time.NewTicker(epochEvery)
+	quit := make(chan struct{})
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		for {
+			select {
+			case <-tick.C:
+				if _, err := eng.RunEpoch(); err != nil {
+					fmt.Fprintln(os.Stderr, "braidio-serve: epoch:", err)
+				}
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("braidio-serve: listening on %s, epoch every %v\n", ln.Addr(), epochEvery)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("braidio-serve: %v, shutting down\n", s)
+	case err := <-errc:
+		tick.Stop()
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	tick.Stop()
+	close(quit)
+	<-tickDone
+	if _, err := eng.RunEpoch(); err != nil { // flush epoch
+		fmt.Fprintln(os.Stderr, "braidio-serve: flush epoch:", err)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	st := eng.Stats()
+	fmt.Printf("braidio-serve: drained — %d members, epoch %d\n", st.Members, st.Epoch)
+	return nil
+}
+
+// runReplay verifies a captured journal end to end.
+func runReplay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	start := time.Now()
+	res, err := serve.Replay(f)
+	if err != nil {
+		return err
+	}
+	if res.Matched == 0 {
+		return errors.New("replay: journal contains no completed epochs")
+	}
+	fmt.Printf("replay ok: %d ops, %d epochs, %d digests matched bit-identically in %v\n",
+		res.Ops, res.Epochs, res.Matched, time.Since(start).Round(time.Millisecond))
+	return nil
+}

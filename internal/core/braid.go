@@ -259,7 +259,7 @@ func (b *Braid) RunInto(res *Result, s *RunScratch, b1, b2 *energy.Battery) erro
 		var aLinks []phy.ModeLink
 		var p []float64
 		var projBits float64
-		if s.memoValid && ratioWithin(ratio, s.memoRatio, b.AllocationTolerance) {
+		if s.memoValid && RatioWithin(ratio, s.memoRatio, b.AllocationTolerance) {
 			aLinks, p = s.memoLinks, s.memoP
 			projBits = bitsFor(s.memoTX, s.memoRX, e1, e2)
 			res.AllocReuses++
@@ -459,14 +459,23 @@ func (b *Braid) RunInto(res *Result, s *RunScratch, b1, b2 *energy.Battery) erro
 	return nil
 }
 
-// ratioWithin reports whether the current battery ratio is close enough
-// to the memoized one to reuse its allocation. A non-positive tolerance
-// demands bit-identical ratios.
-func ratioWithin(ratio, memo, tol float64) bool {
+// RatioWithin reports whether two ratios agree to within a symmetric
+// relative tolerance: |a−b| ≤ tol·max(|a|, |b|). A non-positive
+// tolerance demands bit-identical values. It is the predicate behind
+// the braid's allocation memo and the serve daemon's dirty-set
+// scheduler (both reuse a plan while its input ratio has not drifted).
+//
+// The tolerance is symmetric in its arguments on purpose: the earlier
+// |a−b| ≤ tol·b form made a zero memoized ratio — a fully drained
+// endpoint — demand exact equality (tol·0 = 0), silently defeating memo
+// reuse, and gave different verdicts depending on which value was the
+// memo. Two zeros always agree.
+func RatioWithin(a, b, tol float64) bool {
 	if tol <= 0 {
-		return ratio == memo
+		return a == b
 	}
-	return math.Abs(ratio-memo) <= tol*memo
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*m
 }
 
 // RunFresh creates full batteries of the given capacities and runs the

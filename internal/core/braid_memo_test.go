@@ -136,6 +136,38 @@ func TestBraidToleranceReducesSolves(t *testing.T) {
 	}
 }
 
+// TestRatioWithin pins the memo-reuse predicate, in particular the
+// drained-endpoint path: a zero memoized ratio used to make tol·memo
+// zero, silently demanding exact equality and defeating reuse for
+// fully-drained hubs. The tolerance must also be symmetric — the
+// verdict cannot depend on which value happens to be the memo.
+func TestRatioWithin(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		tol  float64
+		want bool
+	}{
+		{"identical, zero tol", 1.5, 1.5, 0, true},
+		{"different, zero tol", 1.5, 1.5000001, 0, false},
+		{"within 5%", 1.0, 1.04, 0.05, true},
+		{"outside 5%", 1.0, 1.06, 0.05, false},
+		{"both drained", 0, 0, 0.05, true},
+		{"both drained, zero tol", 0, 0, 0, true},
+		{"drained memo vs live ratio", 0, 0.5, 0.05, false},
+		{"near-drained pair within tol", 1e-12, 1.04e-12, 0.05, true},
+		{"near-drained pair outside tol", 1e-12, 2e-12, 0.05, false},
+	}
+	for _, tc := range cases {
+		if got := RatioWithin(tc.a, tc.b, tc.tol); got != tc.want {
+			t.Errorf("%s: RatioWithin(%v, %v, %v) = %v, want %v", tc.name, tc.a, tc.b, tc.tol, got, tc.want)
+		}
+		if fwd, rev := RatioWithin(tc.a, tc.b, tc.tol), RatioWithin(tc.b, tc.a, tc.tol); fwd != rev {
+			t.Errorf("%s: asymmetric verdict: (a,b)=%v but (b,a)=%v", tc.name, fwd, rev)
+		}
+	}
+}
+
 // TestBraidLinkCacheBypass: DisableLinkCache must not change results.
 func TestBraidLinkCacheBypass(t *testing.T) {
 	m := phy.NewModel()

@@ -118,6 +118,15 @@ func Optimize(links []phy.ModeLink, e1, e2 units.Joule) (*Allocation, error) {
 	return a, nil
 }
 
+// OptimizeInto is Optimize solving into caller-owned storage: dst's P
+// slice is resized in place and scratch (len ≥ len(links)) is the
+// candidate-vector workspace. core.Braid's default-optimizer path and
+// the serve daemon's epoch planner call it with persistent buffers so a
+// solve performs no heap allocation.
+func OptimizeInto(dst *Allocation, scratch []float64, links []phy.ModeLink, e1, e2 units.Joule) error {
+	return optimizeInto(dst, scratch[:len(links)], links, e1, e2)
+}
+
 // optimizeInto is Optimize solving into caller-owned storage: dst's P
 // slice is resized in place and p (len(links)) is the candidate-vector
 // scratch. core.Braid's default-optimizer path calls this with its

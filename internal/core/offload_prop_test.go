@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"braidio/internal/lp"
 	"braidio/internal/phy"
 	"braidio/internal/rng"
 	"braidio/internal/units"
@@ -109,6 +110,100 @@ func TestOptimizeProperties(t *testing.T) {
 		t.Fatal("property suite never exercised a feasible Eq.(1) program — generator broken")
 	}
 	t.Logf("%d trials: %d mixed optima, %d Eq.(1)-feasible cross-checks", trials, mixes, eq1Checked)
+}
+
+// TestEq1RedundantRows extends the Eq. (1) property suite to redundant
+// constraint systems: the paper's program with its rows duplicated (and
+// scaled) must solve to the same allocation quality as the minimal
+// two-row form. Redundant rows force the simplex solver through the
+// phase-1→2 drive-out, whose pivot must come from the largest-magnitude
+// column — the per-bit costs here are 1e-9..1e-5-scale, exactly the
+// regime where a first-column near-eps pivot corrupts phase 2.
+func TestEq1RedundantRows(t *testing.T) {
+	stream := rng.New(9)
+	const trials = 300
+	feasible := 0
+	for trial := 0; trial < trials; trial++ {
+		links := randomLinks(stream)
+		e1, e2 := randomBudgets(stream)
+		ratio := float64(e1) / float64(e2)
+		n := len(links)
+		c := make([]float64, n)
+		aRow := make([]float64, n)
+		ones := make([]float64, n)
+		for i, l := range links {
+			c[i] = float64(l.T) + float64(l.R)
+			aRow[i] = float64(l.T) - ratio*float64(l.R)
+			ones[i] = 1
+		}
+		// Normalize like SolveEq1 does (both the = 0 row and the
+		// objective are scale-invariant): the property under test is
+		// redundancy handling, not raw row conditioning.
+		normalize := func(row []float64) {
+			maxAbs := 0.0
+			for _, v := range row {
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if maxAbs > 0 {
+				for i := range row {
+					row[i] /= maxAbs
+				}
+			}
+		}
+		normalize(aRow)
+		normalize(c)
+		base := &lp.Problem{C: c, A: [][]float64{ones, aRow}, B: []float64{1, 0}}
+		want, err := lp.Solve(base)
+		if err != nil {
+			continue // infeasible ratio: nothing to compare
+		}
+		feasible++
+		// Duplicate both rows and add a scaled copy of the
+		// proportionality row (scaling preserves = 0 exactly).
+		scaled := make([]float64, n)
+		for i := range scaled {
+			scaled[i] = 0.7 * aRow[i]
+		}
+		aug := &lp.Problem{
+			C: c,
+			A: [][]float64{ones, aRow, ones, aRow, scaled},
+			B: []float64{1, 0, 1, 0, 0},
+		}
+		got, err := lp.Solve(aug)
+		if err != nil {
+			t.Fatalf("trial %d: redundant Eq.(1) solve failed: %v", trial, err)
+		}
+		sum, prop := 0.0, 0.0
+		for i, x := range got.X {
+			if x < -1e-9 {
+				t.Fatalf("trial %d: fraction %d = %v negative", trial, i, x)
+			}
+			sum += x
+			prop += aRow[i] * x
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("trial %d: redundant Σp = %v, want 1", trial, sum)
+		}
+		// The proportionality row: compare against its own scale.
+		scale := 0.0
+		for _, v := range aRow {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if math.Abs(prop) > 1e-6*scale {
+			t.Fatalf("trial %d: proportionality row violated: %v (scale %v)", trial, prop, scale)
+		}
+		if math.Abs(got.Objective-want.Objective) > 1e-6*want.Objective {
+			t.Fatalf("trial %d: redundant objective %v, want %v", trial, got.Objective, want.Objective)
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("redundant-row suite never exercised a feasible Eq.(1) program — generator broken")
+	}
+	t.Logf("%d trials: %d feasible redundant systems checked", trials, feasible)
 }
 
 // TestEnergyPerBitMonotoneInMargin is the monotonicity property: as the

@@ -23,6 +23,9 @@ func Schedule(links []phy.ModeLink, p []float64, window int) []phy.Mode {
 	if window < 1 {
 		panic("core: schedule window must be ≥ 1")
 	}
+	if len(links) == 0 {
+		return nil // no modes, nothing to spread
+	}
 	seq := make([]phy.Mode, 0, window)
 	given := make([]float64, len(links))
 	for slot := 1; slot <= window; slot++ {
@@ -53,6 +56,9 @@ func ScheduleBlocks(links []phy.ModeLink, p []float64, window int) []phy.Mode {
 	if window < 1 {
 		panic("core: schedule window must be ≥ 1")
 	}
+	if len(links) == 0 {
+		return nil // no modes, nothing to block out
+	}
 	counts := make([]int, len(links))
 	blockCounts(p, window, counts, make([]float64, len(links)))
 	seq := make([]phy.Mode, 0, window)
@@ -68,8 +74,17 @@ func ScheduleBlocks(links []phy.ModeLink, p []float64, window int) []phy.Mode {
 // ScheduleBlocks realizes for the given fractions — the braid engine
 // prices block windows from these counts directly, without materializing
 // the sequence, so the rounding must live in exactly one place. counts
-// and remainders are caller-provided scratch of len(p).
+// and remainders are caller-provided scratch of len(p). The counts
+// always total exactly window, even when float noise makes the
+// fractions sum to 1±ε: a deficit is topped up from the largest
+// remainders, an excess trimmed from the smallest (without either
+// clamp, fractions summing to 1+ε can truncate to more than window
+// frames — an over-long sequence and an over-priced block window — and
+// an empty p would spin on remainders[best]).
 func blockCounts(p []float64, window int, counts []int, remainders []float64) {
+	if len(p) == 0 {
+		return
+	}
 	total := 0
 	for i, pi := range p {
 		exact := pi * float64(window)
@@ -87,6 +102,20 @@ func blockCounts(p []float64, window int, counts []int, remainders []float64) {
 		counts[best]++
 		remainders[best] = -1
 		total++
+	}
+	for total > window {
+		best := -1
+		for i := range counts {
+			if counts[i] == 0 {
+				continue
+			}
+			if best < 0 || remainders[i] < remainders[best] {
+				best = i
+			}
+		}
+		counts[best]--
+		remainders[best] = 2 // above any real remainder: spread repeated trims
+		total--
 	}
 }
 

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+// scheduleLinks builds a minimal link set for schedule tests — the
+// schedulers only read Mode (and SwitchEnergyOf reads Rate).
+func scheduleLinks(n int) []phy.ModeLink {
+	links := make([]phy.ModeLink, n)
+	for i := range links {
+		links[i] = phy.ModeLink{Mode: phy.Modes[i%len(phy.Modes)], Rate: units.Rate1M}
+	}
+	return links
+}
+
+// TestBlockCountsFloatNoise pins the clamp for fractions that carry
+// float noise: at a window large enough that window·ε crosses a frame
+// boundary, fractions summing to 1+ε used to truncate to more than
+// window frames (an over-long sequence and an over-priced block
+// window), and fractions summing to 1−ε must still be topped up to
+// exactly window.
+func TestBlockCountsFloatNoise(t *testing.T) {
+	const window = 1 << 30
+	cases := map[string][]float64{
+		"sum 1+1e-9 two modes":   {0.5 + 1e-9, 0.5 + 1e-9},
+		"sum 1-1e-9 two modes":   {0.5 - 1e-9, 0.5 - 1e-9},
+		"sum 1+1e-9 three modes": {0.25 + 4e-10, 0.25 + 3e-10, 0.5 + 3e-10},
+		"sum 1-1e-9 three modes": {0.25 - 4e-10, 0.25 - 3e-10, 0.5 - 3e-10},
+		"exact":                  {0.25, 0.25, 0.5},
+	}
+	for name, p := range cases {
+		counts := make([]int, len(p))
+		blockCounts(p, window, counts, make([]float64, len(p)))
+		total := 0
+		for i, c := range counts {
+			if c < 0 {
+				t.Errorf("%s: count %d negative: %d", name, i, c)
+			}
+			total += c
+		}
+		if total != window {
+			t.Errorf("%s: counts total %d, want %d", name, total, window)
+		}
+	}
+}
+
+// TestBlockCountsTrimSpreads checks that when several frames must be
+// trimmed, the clamp spreads the cuts across modes instead of driving
+// one mode's count negative.
+func TestBlockCountsTrimSpreads(t *testing.T) {
+	// Fractions summing to ~1.5: grossly invalid input, but the clamp
+	// must still return a window-exact, non-negative split.
+	p := []float64{0.5, 0.5, 0.5}
+	const window = 12
+	counts := make([]int, len(p))
+	blockCounts(p, window, counts, make([]float64, len(p)))
+	total := 0
+	for i, c := range counts {
+		if c < 0 {
+			t.Fatalf("count %d negative: %d", i, c)
+		}
+		total += c
+	}
+	if total != window {
+		t.Fatalf("counts total %d, want %d", total, window)
+	}
+}
+
+// TestScheduleBlocksWindowExact checks the materialized sequence length
+// for noisy fractions at a realistic window.
+func TestScheduleBlocksWindowExact(t *testing.T) {
+	links := scheduleLinks(3)
+	for _, p := range [][]float64{
+		{0.33, 0.33, 0.34},
+		{1.0/3 + 1e-9, 1.0/3 + 1e-9, 1.0/3 + 1e-9},
+		{1.0/3 - 1e-9, 1.0/3 - 1e-9, 1.0/3 - 1e-9},
+	} {
+		seq := ScheduleBlocks(links, p, 128)
+		if len(seq) != 128 {
+			t.Errorf("p=%v: block schedule length %d, want 128", p, len(seq))
+		}
+	}
+}
+
+// TestScheduleEmptyLinks pins the empty-links guard: both schedulers
+// must return an empty sequence instead of panicking (blockCounts'
+// top-up loop used to index remainders[0] on an empty slice).
+func TestScheduleEmptyLinks(t *testing.T) {
+	if seq := ScheduleBlocks(nil, nil, 16); len(seq) != 0 {
+		t.Errorf("ScheduleBlocks(nil) returned %d modes", len(seq))
+	}
+	if seq := Schedule(nil, nil, 16); len(seq) != 0 {
+		t.Errorf("Schedule(nil) returned %d modes", len(seq))
+	}
+	var counts []int
+	blockCounts(nil, 16, counts, nil) // must not panic or spin
+}

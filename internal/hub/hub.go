@@ -96,6 +96,13 @@ type Hub struct {
 	// Result is bit-identical at any value — Workers trades only
 	// wall-clock.
 	Workers int
+	// AllocationTolerance is propagated to every member braid (see
+	// core.Braid.AllocationTolerance): the relative battery-ratio drift
+	// tolerated before a member's allocation is re-solved. Zero keeps
+	// the exact bit-identical memo; positive values trade precision for
+	// fewer solver runs — the knob the serve daemon and large fleets
+	// turn to keep epoch re-plans proportional to drift, not membership.
+	AllocationTolerance float64
 	// Obs, when non-nil, receives round/replan/quarantine counters and
 	// is propagated to every member braid. Nil falls back to the process
 	// default recorder (obs.Active). Canonical metric snapshots are
@@ -307,6 +314,7 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 		ms := &scr.members[i]
 		ms.braid = core.DefaultBraid(h.model, m.Distance)
 		ms.braid.Obs = h.Obs
+		ms.braid.AllocationTolerance = h.AllocationTolerance
 		if m.MinRate > 0 {
 			minRate := m.MinRate
 			ms.braid.Optimizer = func(links []phy.ModeLink, e1, e2 units.Joule) (*core.Allocation, error) {

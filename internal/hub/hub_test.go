@@ -58,6 +58,33 @@ func TestHubDeliversAllLoads(t *testing.T) {
 	}
 }
 
+// TestHubAllocationTolerance: the tolerance knob must propagate to the
+// member braids — a loose hub reuses allocations across ratio drift
+// (fewer LP solves, nonzero memo reuse) while delivering essentially
+// the same bits as the exact hub.
+func TestHubAllocationTolerance(t *testing.T) {
+	exact := bodyNetwork(t)
+	loose := bodyNetwork(t)
+	loose.AllocationTolerance = 0.05
+	re, err := exact.Run(3600, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := loose.Run(3600, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.LPSolves >= re.LPSolves {
+		t.Errorf("tolerant hub solved %d LPs, exact solved %d — tolerance not propagated", rl.LPSolves, re.LPSolves)
+	}
+	if rl.AllocReuses <= re.AllocReuses {
+		t.Errorf("tolerant hub reused %d allocations, exact %d", rl.AllocReuses, re.AllocReuses)
+	}
+	if diff := math.Abs(rl.TotalBits()-re.TotalBits()) / re.TotalBits(); diff > 0.01 {
+		t.Errorf("tolerant hub delivered %v bits vs exact %v (%.2f%% off)", rl.TotalBits(), re.TotalBits(), 100*diff)
+	}
+}
+
 // TestHubCarriesTheBill: the hub pays the power-proportional share of
 // every member's radio bill — capacity_hub / (capacity_member +
 // capacity_hub), i.e. the lion's share for every wearable.

@@ -199,17 +199,21 @@ func Solve(p *Problem) (*Solution, error) {
 		return nil, ErrInfeasible
 	}
 	// Drive any artificial variables out of the basis (degenerate case).
+	// Pivot on the largest-magnitude eligible column, not the first one
+	// past the tolerance: a pivot element barely above eps divides the
+	// whole row by a near-zero value, blowing its entries up by ~1/eps
+	// and corrupting the well-scaled rows phase 2 then iterates on.
 	for i := 0; i < m; i++ {
 		if t.basis[i] >= n {
-			pivoted := false
+			col, colAbs := -1, eps
 			for j := 0; j < n; j++ {
-				if math.Abs(t.a[i][j]) > eps {
-					t.pivot(i, j)
-					pivoted = true
-					break
+				if a := math.Abs(t.a[i][j]); a > colAbs {
+					col, colAbs = j, a
 				}
 			}
-			if !pivoted {
+			if col >= 0 {
+				t.pivot(i, col)
+			} else {
 				// Redundant row: zero it so it cannot affect phase 2.
 				for j := range t.a[i] {
 					t.a[i][j] = 0

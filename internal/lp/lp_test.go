@@ -115,6 +115,146 @@ func TestRedundantRow(t *testing.T) {
 	}
 }
 
+// TestNearDependentRowDriveOut pins a regression for the phase-1→2
+// drive-out pivot: the third row is a rounded combination of the first
+// two (0.7·row0 + row1), so after phase 1 an artificial variable stays
+// basic in a row holding only cancellation residue. The residue in the
+// badly scaled columns sits just above the pivot tolerance; pivoting on
+// the *first* such column instead of the largest-magnitude one divides
+// the row by noise and returns a solution violating the constraints by
+// O(1). Found by differential fuzzing against the fixed solver.
+func TestNearDependentRowDriveOut(t *testing.T) {
+	p := &Problem{
+		C: []float64{0.2, 0.2, 0.7},
+		A: [][]float64{
+			{0.0003333333333333333, 6.666666666666667e-05, -6.666666666666666e+06},
+			{2e+07, 0.9, 0.0006666666666666666},
+			{2.0000000000233334e+07, 0.9000466666666667, -4.666666665999999e+06},
+		},
+		B: []float64{6e-05, 0.81, 0.810042},
+	}
+	s := solveOK(t, p)
+	for i, row := range p.A {
+		dot := 0.0
+		for j := range row {
+			dot += row[j] * s.X[j]
+		}
+		if math.Abs(dot-p.B[i]) > 1e-6*math.Max(1, math.Abs(p.B[i])) {
+			t.Errorf("row %d violated: Ax = %v, b = %v (X = %v)", i, dot, p.B[i], s.X)
+		}
+	}
+	for j, x := range s.X {
+		if x < -1e-9 {
+			t.Errorf("x[%d] = %v negative", j, x)
+		}
+	}
+}
+
+// TestRedundantRowsProperty solves randomized feasible problems with
+// linearly dependent rows appended — duplicates, scaled copies (down to
+// near the pivot tolerance), and row sums. Redundant rows leave
+// artificial variables basic at zero after phase 1, exercising the
+// drive-out transition: its pivot must come from the largest-magnitude
+// eligible column, or a near-eps pivot element scales the row by ~1/eps
+// and corrupts phase 2.
+func TestRedundantRowsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := seed | 1
+		next := func() float64 { // xorshift64, uniform in [0, 1)
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return float64(s>>11) / (1 << 53)
+		}
+		n := 2 + int(next()*3) // 2–4 variables
+		m := 1 + int(next()*2) // 1–2 independent rows
+		if m >= n {
+			m = n - 1
+		}
+		// Feasible by construction: b = A·x* for a nonnegative x*.
+		xstar := make([]float64, n)
+		for j := range xstar {
+			if next() < 0.3 {
+				xstar[j] = 0 // degenerate vertices too
+			} else {
+				xstar[j] = next() * 5
+			}
+		}
+		base := &Problem{C: make([]float64, n)}
+		for j := range base.C {
+			base.C[j] = next() // c ≥ 0 keeps the problem bounded
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			bi := 0.0
+			for j := range row {
+				row[j] = 2*next() - 1
+				bi += row[j] * xstar[j]
+			}
+			base.A = append(base.A, row)
+			base.B = append(base.B, bi)
+		}
+		want, err := Solve(base)
+		if err != nil {
+			return false
+		}
+
+		// Append dependent rows: an exact duplicate, a copy scaled down
+		// near the pivot tolerance, and the sum of all base rows.
+		aug := &Problem{C: base.C, A: append([][]float64{}, base.A...), B: append([]float64{}, base.B...)}
+		addScaled := func(src int, scale float64) {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = scale * base.A[src][j]
+			}
+			aug.A = append(aug.A, row)
+			aug.B = append(aug.B, scale*base.B[src])
+		}
+		addScaled(0, 1)
+		addScaled(0, 3e-9)
+		sum := make([]float64, n)
+		sb := 0.0
+		for i := range base.A {
+			for j := range sum {
+				sum[j] += base.A[i][j]
+			}
+			sb += base.B[i]
+		}
+		aug.A = append(aug.A, sum)
+		aug.B = append(aug.B, sb)
+
+		got, err := Solve(aug)
+		if err != nil {
+			t.Logf("seed %d: augmented solve failed: %v", seed, err)
+			return false
+		}
+		for j, x := range got.X {
+			if x < -1e-9 {
+				t.Logf("seed %d: x[%d] = %v negative", seed, j, x)
+				return false
+			}
+		}
+		for i, row := range aug.A {
+			dot := 0.0
+			for j := range row {
+				dot += row[j] * got.X[j]
+			}
+			if math.Abs(dot-aug.B[i]) > 1e-6*math.Max(1, math.Abs(aug.B[i])) {
+				t.Logf("seed %d: row %d violated: %v != %v", seed, i, dot, aug.B[i])
+				return false
+			}
+		}
+		if math.Abs(got.Objective-want.Objective) > 1e-6*math.Max(1, math.Abs(want.Objective)) {
+			t.Logf("seed %d: objective %v, want %v", seed, got.Objective, want.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestDegenerate(t *testing.T) {
 	// A degenerate vertex (b has a zero) must not cycle thanks to Bland's
 	// rule.

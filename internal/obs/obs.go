@@ -254,6 +254,24 @@ type Recorder struct {
 	// HubDeaths counts hub batteries that died mid-run.
 	HubDeaths Counter
 
+	// Serve daemon series (internal/serve) — online epoch accounting.
+
+	// ServeRegisters counts admitted member registrations.
+	ServeRegisters Counter
+	// ServeUpdates counts admitted member/hub state updates.
+	ServeUpdates Counter
+	// ServeSheds counts requests dropped by admission backpressure (the
+	// bounded queue was full or the member cap was hit).
+	ServeSheds Counter
+	// ServeEpochs counts serving epochs executed.
+	ServeEpochs Counter
+	// ServePlans counts member plans solved — only dirty members, so
+	// ServePlans stays proportional to input drift, not membership.
+	ServePlans Counter
+	// ServeClean counts member-epochs skipped because the member's
+	// inputs stayed within tolerance of its last plan.
+	ServeClean Counter
+
 	// Tracer, when non-nil, receives mode-switch/fallback/replan/
 	// quarantine/hub-death events from sequential engine contexts. Nil
 	// disables tracing.

@@ -61,10 +61,11 @@ type CacheSnapshot struct {
 type Snapshot struct {
 	// BraidRuns..HubDeaths mirror the Recorder counters; see Recorder
 	// for per-field semantics.
-	BraidRuns, Epochs, LPSolves, AllocReuses, Switches                    uint64
-	FramesDelivered, FramesLost, Retransmissions, Probes, Recomputes      uint64
-	Fallbacks, FallbacksSuppressed, BackoffWaits, LinkDeaths              uint64
-	HubRounds, MemberRounds, Replans, Quarantines, OutageRounds, HubDeaths uint64
+	BraidRuns, Epochs, LPSolves, AllocReuses, Switches                            uint64
+	FramesDelivered, FramesLost, Retransmissions, Probes, Recomputes              uint64
+	Fallbacks, FallbacksSuppressed, BackoffWaits, LinkDeaths                      uint64
+	HubRounds, MemberRounds, Replans, Quarantines, OutageRounds, HubDeaths        uint64
+	ServeRegisters, ServeUpdates, ServeSheds, ServeEpochs, ServePlans, ServeClean uint64
 
 	// Bits, AirTime, DrainTX, DrainRX, SwitchEnergy are the dequantized
 	// float totals.
@@ -112,6 +113,12 @@ func (r *Recorder) Snapshot() Snapshot {
 		Quarantines:         r.Quarantines.Load(),
 		OutageRounds:        r.OutageRounds.Load(),
 		HubDeaths:           r.HubDeaths.Load(),
+		ServeRegisters:      r.ServeRegisters.Load(),
+		ServeUpdates:        r.ServeUpdates.Load(),
+		ServeSheds:          r.ServeSheds.Load(),
+		ServeEpochs:         r.ServeEpochs.Load(),
+		ServePlans:          r.ServePlans.Load(),
+		ServeClean:          r.ServeClean.Load(),
 		Bits:                r.Bits.Load(),
 		RawBits:             r.Bits.raw(),
 		AirTime:             r.AirTime.Load(),
@@ -244,6 +251,19 @@ func (s *Snapshot) WriteTable(w io.Writer) error {
 		return err
 	}
 
+	fmt.Fprintln(w, "\n== Serve ==")
+	rows = [][]string{
+		{"registers", fmt.Sprint(s.ServeRegisters)},
+		{"updates", fmt.Sprint(s.ServeUpdates)},
+		{"sheds", fmt.Sprint(s.ServeSheds)},
+		{"epochs", fmt.Sprint(s.ServeEpochs)},
+		{"plans solved", fmt.Sprint(s.ServePlans)},
+		{"clean skips", fmt.Sprint(s.ServeClean)},
+	}
+	if err := ascii.Table(w, []string{"Counter", "Value"}, rows); err != nil {
+		return err
+	}
+
 	fmt.Fprintln(w, "\n== Resilience ==")
 	rows = [][]string{
 		{"fallbacks", fmt.Sprint(s.Fallbacks)},
@@ -305,6 +325,12 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	counter("braidio_quarantines_total", "Members quarantined.", s.Quarantines)
 	counter("braidio_outage_rounds_total", "Member-rounds lost to injected outages.", s.OutageRounds)
 	counter("braidio_hub_deaths_total", "Hub batteries exhausted mid-run.", s.HubDeaths)
+	counter("braidio_serve_registers_total", "Member registrations admitted by the serve daemon.", s.ServeRegisters)
+	counter("braidio_serve_updates_total", "Member/hub state updates admitted by the serve daemon.", s.ServeUpdates)
+	counter("braidio_serve_sheds_total", "Requests dropped by serve admission backpressure.", s.ServeSheds)
+	counter("braidio_serve_epochs_total", "Serving epochs executed.", s.ServeEpochs)
+	counter("braidio_serve_plans_total", "Member plans solved (dirty members only).", s.ServePlans)
+	counter("braidio_serve_clean_total", "Member-epochs skipped as within-tolerance.", s.ServeClean)
 	counter("braidio_linkcache_hits_total", "PHY link cache hits.", s.Cache.Hits)
 	counter("braidio_linkcache_misses_total", "PHY link cache misses.", s.Cache.Misses)
 	counter("braidio_linkcache_evictions_total", "PHY link cache evictions.", s.Cache.Evictions)

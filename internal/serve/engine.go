@@ -1,0 +1,517 @@
+// Package serve is the online planning engine behind the braidio-serve
+// daemon: a multi-tenant, epoch-batched version of the Eq. (1) offload
+// planner. Devices register once, stream energy and link updates, and
+// read back mode-fraction plans; the engine re-solves only for members
+// whose inputs drifted past tolerance since their last plan (the
+// dirty-set generalization of core.Braid's allocation memo), batches
+// admissions per epoch, sheds load when the admission queue is full,
+// and journals every admitted operation so a captured session replays
+// bit-identically through the same batch planner.
+//
+// Determinism contract: plans are solved concurrently over internal/par
+// but each worker writes only its index-owned result slot and results
+// are committed in registration order, so an epoch's plan set — and the
+// FNV-1a digest over it — is bit-identical at any worker count. That is
+// what Replay checks.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"braidio/internal/core"
+	"braidio/internal/linkcache"
+	"braidio/internal/obs"
+	"braidio/internal/par"
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+// Config parameterizes an Engine. The zero value is unusable; call
+// (*Config).withDefaults via NewEngine to fill gaps.
+type Config struct {
+	// Workers bounds the planning pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the admission queue; operations arriving when the
+	// queue is full are shed (Enqueue returns false, HTTP returns 503).
+	QueueCap int
+	// RatioTolerance is the symmetric relative tolerance on the battery
+	// ratio E_hub/E_member within which a member's existing plan is
+	// reused — the serve-side analogue of core.Braid's
+	// AllocationTolerance. Zero demands exact equality (every update
+	// dirties its member).
+	RatioTolerance float64
+	// DistanceTolerance is the same predicate applied to the reported
+	// link distance, the input to PHY characterization.
+	DistanceTolerance float64
+	// Window is the block-schedule window length handed to
+	// core.ScheduleBlocks when expanding fractions into frame slots.
+	Window int
+	// HubEnergy is the hub-side budget E1 shared by every member's
+	// solve (the carrier/hub battery of the paper's asymmetric setup).
+	HubEnergy units.Joule
+	// FadeMargin derates the PHY model's link budgets (dB).
+	FadeMargin units.DB
+	// PayloadLen sets the PHY framing (bytes); 0 keeps the model default.
+	PayloadLen int
+	// Rec receives serve counters; nil disables recording.
+	Rec *obs.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1 << 16
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.HubEnergy <= 0 {
+		c.HubEnergy = 10
+	}
+	return c
+}
+
+// Plan is one member's current mode-fraction plan.
+type Plan struct {
+	// Epoch is the epoch the plan was solved in.
+	Epoch uint64 `json:"epoch"`
+	// Ratio is the battery ratio E_hub/E_member the plan was solved at;
+	// the dirty-set predicate compares fresh updates against it.
+	Ratio float64 `json:"ratio"`
+	// Distance is the link distance the plan was characterized at.
+	Distance float64 `json:"distance_m"`
+	// Modes and Fractions are the allocation, aligned: bit fractions
+	// per available mode, summing to 1.
+	Modes     []string  `json:"modes"`
+	Fractions []float64 `json:"fractions"`
+	// Blocks is the largest-remainder expansion of Fractions into
+	// contiguous per-mode slot counts over the configured window.
+	Blocks []int `json:"blocks"`
+	// Bits is the deliverable payload before one endpoint drains.
+	Bits float64 `json:"bits"`
+}
+
+// opKind discriminates admitted operations.
+type opKind uint8
+
+const (
+	opRegister opKind = iota
+	opUpdate
+	opHub
+)
+
+// op is one admitted mutation, applied in admission order at the next
+// epoch boundary.
+type op struct {
+	kind     opKind
+	id       string
+	energy   units.Joule
+	distance units.Meter
+}
+
+// member is one registered device's engine-side state.
+type member struct {
+	id       string
+	energy   units.Joule
+	distance units.Meter
+	dirty    bool
+	plan     Plan
+	hasPlan  bool
+}
+
+// EpochResult summarizes one RunEpoch: how many members were re-planned
+// versus served by their existing plan, and the deterministic digest
+// over every plan solved this epoch.
+type EpochResult struct {
+	Epoch   uint64 `json:"epoch"`
+	Applied int    `json:"applied"`
+	Planned int    `json:"planned"`
+	Clean   int    `json:"clean"`
+	Members int    `json:"members"`
+	// Digest is the FNV-1a 64 hash over (epoch, id, fraction bits,
+	// blocks, bit count) of every plan solved this epoch, in
+	// registration order. Bit-identical across replays and worker
+	// counts.
+	Digest string `json:"digest"`
+}
+
+// Engine is the epoch-batched multi-tenant planner. All methods are
+// safe for concurrent use; RunEpoch itself must not be called
+// concurrently with another RunEpoch (the daemon drives it from a
+// single ticker goroutine).
+type Engine struct {
+	cfg   Config
+	model *phy.Model
+
+	queueMu sync.Mutex
+	queue   []op
+
+	mu        sync.RWMutex
+	hubEnergy units.Joule
+	members   map[string]*member
+	order     []*member // registration order — the deterministic commit order
+	epoch     uint64
+
+	epochMu sync.Mutex // serializes RunEpoch
+
+	scratch sync.Pool // per-solve []float64 workspace
+
+	journal *Journal // nil when capture is off
+}
+
+// NewEngine builds an engine from a config, applying defaults.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	m := phy.NewModel()
+	m.FadeMargin = cfg.FadeMargin
+	if cfg.PayloadLen > 0 {
+		m.PayloadLen = cfg.PayloadLen
+	}
+	return &Engine{
+		cfg:       cfg,
+		model:     m,
+		queue:     make([]op, 0, cfg.QueueCap),
+		hubEnergy: cfg.HubEnergy,
+		members:   make(map[string]*member),
+	}
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// AttachJournal starts capturing admitted operations and epoch digests
+// to j. Attach before serving traffic — operations admitted earlier are
+// not in the journal and the replay would diverge.
+func (e *Engine) AttachJournal(j *Journal) {
+	e.queueMu.Lock()
+	e.journal = j
+	e.queueMu.Unlock()
+}
+
+// ErrShed reports an operation dropped because the admission queue was
+// full — the backpressure signal the HTTP layer maps to 503.
+var ErrShed = errors.New("serve: admission queue full, operation shed")
+
+// enqueue admits an operation or sheds it when the queue is full.
+func (e *Engine) enqueue(o op) error {
+	e.queueMu.Lock()
+	if len(e.queue) >= e.cfg.QueueCap {
+		e.queueMu.Unlock()
+		if e.cfg.Rec != nil {
+			e.cfg.Rec.ServeSheds.Add(1)
+		}
+		return ErrShed
+	}
+	e.queue = append(e.queue, o)
+	// Journal inside the critical section: journal order must be
+	// admission order or the replay diverges.
+	if e.journal != nil {
+		e.journal.op(o)
+	}
+	e.queueMu.Unlock()
+	return nil
+}
+
+// Register admits a new member (or re-registers an existing one; the
+// later admission wins, as with any update).
+func (e *Engine) Register(id string, energy units.Joule, distance units.Meter) error {
+	if id == "" {
+		return errors.New("serve: empty member id")
+	}
+	if energy <= 0 || distance <= 0 {
+		return fmt.Errorf("serve: member %q has non-positive energy %v or distance %v", id, float64(energy), float64(distance))
+	}
+	return e.enqueue(op{kind: opRegister, id: id, energy: energy, distance: distance})
+}
+
+// Update admits an energy/link update for a registered member. Unknown
+// ids are rejected at apply time (counted, not fatal).
+func (e *Engine) Update(id string, energy units.Joule, distance units.Meter) error {
+	if id == "" {
+		return errors.New("serve: empty member id")
+	}
+	if energy <= 0 || distance <= 0 {
+		return fmt.Errorf("serve: member %q has non-positive energy %v or distance %v", id, float64(energy), float64(distance))
+	}
+	return e.enqueue(op{kind: opUpdate, id: id, energy: energy, distance: distance})
+}
+
+// SetHubEnergy admits a hub-side budget change. Since every member's
+// ratio shares the hub term, the apply step rechecks the whole
+// membership against tolerance.
+func (e *Engine) SetHubEnergy(energy units.Joule) error {
+	if energy <= 0 {
+		return fmt.Errorf("serve: non-positive hub energy %v", float64(energy))
+	}
+	return e.enqueue(op{kind: opHub, energy: energy})
+}
+
+// PlanFor returns the member's current plan. ok is false when the id is
+// unknown or not yet planned (registered but no epoch has run).
+func (e *Engine) PlanFor(id string) (Plan, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	m, found := e.members[id]
+	if !found || !m.hasPlan {
+		return Plan{}, false
+	}
+	return m.plan, true
+}
+
+// Stats is the engine's instantaneous state for /v1/stats.
+type Stats struct {
+	Members    int     `json:"members"`
+	QueueDepth int     `json:"queue_depth"`
+	QueueCap   int     `json:"queue_cap"`
+	Epoch      uint64  `json:"epoch"`
+	HubEnergy  float64 `json:"hub_energy_j"`
+}
+
+// Stats reports membership, queue depth, and the last completed epoch.
+func (e *Engine) Stats() Stats {
+	e.queueMu.Lock()
+	depth := len(e.queue)
+	e.queueMu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return Stats{
+		Members:    len(e.order),
+		QueueDepth: depth,
+		QueueCap:   e.cfg.QueueCap,
+		Epoch:      e.epoch,
+		HubEnergy:  float64(e.hubEnergy),
+	}
+}
+
+// dirtyAgainst reports whether fresh inputs have drifted out of
+// tolerance from the member's planned inputs. A member with no plan yet
+// is always dirty.
+func (e *Engine) dirtyAgainst(m *member) bool {
+	if !m.hasPlan {
+		return true
+	}
+	ratio := float64(e.hubEnergy) / float64(m.energy)
+	if !core.RatioWithin(ratio, m.plan.Ratio, e.cfg.RatioTolerance) {
+		return true
+	}
+	return !core.RatioWithin(float64(m.distance), m.plan.Distance, e.cfg.DistanceTolerance)
+}
+
+// planJob snapshots one dirty member's solve inputs; results land in
+// index-owned slots for deterministic in-order commit.
+type planJob struct {
+	m        *member
+	energy   units.Joule
+	distance units.Meter
+	plan     Plan
+	err      error
+}
+
+// RunEpoch drains the admission queue, applies the operations in
+// admission order, re-plans exactly the dirty members over the worker
+// pool, commits the plans in registration order, and returns the epoch
+// summary with its deterministic digest. Journaling (if any) is the
+// caller's job — the Journal wrapper logs ops and results around this.
+func (e *Engine) RunEpoch() (EpochResult, error) {
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+
+	e.mu.Lock()
+	e.epoch++
+	epoch := e.epoch
+	e.mu.Unlock()
+
+	e.queueMu.Lock()
+	ops := e.queue
+	e.queue = make([]op, 0, e.cfg.QueueCap)
+	// The drain marker sits in the same critical section, so every
+	// journaled op unambiguously belongs to exactly one epoch.
+	journal := e.journal
+	if journal != nil {
+		journal.drain(epoch)
+	}
+	e.queueMu.Unlock()
+
+	e.mu.Lock()
+	applied := e.applyLocked(ops)
+
+	// Collect the dirty set in registration order and snapshot inputs.
+	jobs := make([]planJob, 0, len(e.order))
+	for _, m := range e.order {
+		if m.dirty {
+			jobs = append(jobs, planJob{m: m, energy: m.energy, distance: m.distance})
+		}
+	}
+	hubE := e.hubEnergy
+	total := len(e.order)
+	e.mu.Unlock()
+
+	// Solve outside the state lock: reads touch only the snapshots,
+	// writes only index-owned slots — the par determinism contract.
+	par.For(e.cfg.Workers, len(jobs), func(i int) {
+		j := &jobs[i]
+		j.plan, j.err = e.solve(epoch, hubE, j.energy, j.distance)
+	})
+
+	// Commit in registration order.
+	e.mu.Lock()
+	var solveErr error
+	planned := 0
+	for i := range jobs {
+		j := &jobs[i]
+		if j.err != nil {
+			// Out of range or drained: keep the member dirty so a
+			// recovering update re-plans it, surface the first error.
+			if solveErr == nil {
+				solveErr = fmt.Errorf("serve: member %q: %w", j.m.id, j.err)
+			}
+			continue
+		}
+		j.m.plan = j.plan
+		j.m.hasPlan = true
+		j.m.dirty = false
+		planned++
+	}
+	e.mu.Unlock()
+
+	clean := total - len(jobs)
+	if e.cfg.Rec != nil {
+		e.cfg.Rec.ServeEpochs.Add(1)
+		e.cfg.Rec.ServePlans.Add(uint64(planned))
+		e.cfg.Rec.ServeClean.Add(uint64(clean))
+	}
+	res := EpochResult{
+		Epoch:   epoch,
+		Applied: applied,
+		Planned: planned,
+		Clean:   clean,
+		Members: total,
+		Digest:  digest(epoch, jobs),
+	}
+	if journal != nil {
+		journal.epoch(res)
+	}
+	return res, solveErr
+}
+
+// applyLocked applies admitted operations in order under e.mu and
+// returns how many took effect.
+func (e *Engine) applyLocked(ops []op) int {
+	applied := 0
+	for _, o := range ops {
+		switch o.kind {
+		case opRegister:
+			m, found := e.members[o.id]
+			if !found {
+				m = &member{id: o.id}
+				e.members[o.id] = m
+				e.order = append(e.order, m)
+			}
+			m.energy, m.distance, m.dirty = o.energy, o.distance, true
+			if e.cfg.Rec != nil {
+				e.cfg.Rec.ServeRegisters.Add(1)
+			}
+			applied++
+		case opUpdate:
+			m, found := e.members[o.id]
+			if !found {
+				continue // raced a shed register; nothing to update
+			}
+			m.energy, m.distance = o.energy, o.distance
+			if !m.dirty {
+				m.dirty = e.dirtyAgainst(m)
+			}
+			if e.cfg.Rec != nil {
+				e.cfg.Rec.ServeUpdates.Add(1)
+			}
+			applied++
+		case opHub:
+			e.hubEnergy = o.energy
+			for _, m := range e.order {
+				if !m.dirty {
+					m.dirty = e.dirtyAgainst(m)
+				}
+			}
+			applied++
+		}
+	}
+	return applied
+}
+
+// solve characterizes the link at the member's distance and runs the
+// offload optimizer at the hub:member budget pair.
+func (e *Engine) solve(epoch uint64, hubE, memberE units.Joule, d units.Meter) (Plan, error) {
+	links := linkcache.Characterize(e.model, d)
+	if len(links) == 0 {
+		return Plan{}, fmt.Errorf("out of range at %.2fm", float64(d))
+	}
+	buf, _ := e.scratch.Get().(*[]float64)
+	if buf == nil || cap(*buf) < len(links) {
+		s := make([]float64, len(links))
+		buf = &s
+	}
+	var alloc core.Allocation
+	err := core.OptimizeInto(&alloc, (*buf)[:len(links)], links, hubE, memberE)
+	e.scratch.Put(buf)
+	if err != nil {
+		return Plan{}, err
+	}
+	p := Plan{
+		Epoch:     epoch,
+		Ratio:     float64(hubE) / float64(memberE),
+		Distance:  float64(d),
+		Modes:     make([]string, len(links)),
+		Fractions: make([]float64, len(links)),
+		Blocks:    make([]int, len(links)),
+		Bits:      alloc.Bits,
+	}
+	copy(p.Fractions, alloc.P)
+	for i, l := range links {
+		p.Modes[i] = l.Mode.String()
+	}
+	seq := core.ScheduleBlocks(links, alloc.P, e.cfg.Window)
+	for i, l := range links {
+		for _, m := range seq {
+			if m == l.Mode {
+				p.Blocks[i]++
+			}
+		}
+	}
+	return p, nil
+}
+
+// digest hashes the epoch's solved plans in commit order: member id,
+// the exact fraction bit patterns, block counts, and deliverable bits.
+// Failed solves contribute their member id with an error marker so a
+// replay diverging into an error is caught too.
+func digest(epoch uint64, jobs []planJob) string {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(epoch)
+	put(uint64(len(jobs)))
+	for i := range jobs {
+		j := &jobs[i]
+		h.Write([]byte(j.m.id))
+		if j.err != nil {
+			put(^uint64(0))
+			continue
+		}
+		for _, f := range j.plan.Fractions {
+			put(math.Float64bits(f))
+		}
+		for _, n := range j.plan.Blocks {
+			put(uint64(n))
+		}
+		put(math.Float64bits(j.plan.Bits))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,206 @@
+// Journal capture and deterministic replay. A journal is a JSONL
+// stream: one config record, then admitted operations interleaved with
+// epoch boundaries. Operation records are written inside the admission
+// queue's critical section, so journal order IS admission order; the
+// "drain" marker is written in the same critical section that empties
+// the queue, so replay knows exactly which operations each epoch saw.
+// The "epoch" record that follows carries the plan digest the live run
+// produced — Replay re-runs the batch planner over the journaled
+// operations and demands the digests match bit for bit.
+
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"braidio/internal/units"
+)
+
+// record is the single flat JSONL record shape; T discriminates.
+type record struct {
+	T string `json:"t"`
+
+	// op fields (t = "reg" | "upd" | "hub")
+	ID string  `json:"id,omitempty"`
+	E  float64 `json:"e,omitempty"`
+	D  float64 `json:"d,omitempty"`
+
+	// epoch fields (t = "drain" | "epoch")
+	Epoch   uint64 `json:"epoch,omitempty"`
+	Planned int    `json:"planned,omitempty"`
+	Clean   int    `json:"clean,omitempty"`
+	Members int    `json:"members,omitempty"`
+	Digest  string `json:"digest,omitempty"`
+
+	// config fields (t = "config")
+	RatioTol float64 `json:"ratio_tol,omitempty"`
+	DistTol  float64 `json:"dist_tol,omitempty"`
+	Window   int     `json:"window,omitempty"`
+	HubJ     float64 `json:"hub_j,omitempty"`
+	FadeDB   float64 `json:"fade_db,omitempty"`
+	Payload  int     `json:"payload,omitempty"`
+	QueueCap int     `json:"queue_cap,omitempty"`
+}
+
+// Journal captures a session for replay. Safe for concurrent writers;
+// the engine calls it from inside its admission-queue critical section
+// so record order matches admission order.
+type Journal struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJournal starts a journal on w by writing the engine config header.
+func NewJournal(w io.Writer, cfg Config) *Journal {
+	j := &Journal{w: bufio.NewWriterSize(w, 1<<16)}
+	j.write(record{
+		T: "config", RatioTol: cfg.RatioTolerance, DistTol: cfg.DistanceTolerance,
+		Window: cfg.Window, HubJ: float64(cfg.HubEnergy), FadeDB: float64(cfg.FadeMargin),
+		Payload: cfg.PayloadLen, QueueCap: cfg.QueueCap,
+	})
+	return j
+}
+
+func (j *Journal) write(r record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		j.err = err
+		return
+	}
+	b = append(b, '\n')
+	_, j.err = j.w.Write(b)
+}
+
+// Close flushes buffered records and returns the first write error.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+func (j *Journal) op(o op) {
+	r := record{ID: o.id, E: float64(o.energy), D: float64(o.distance)}
+	switch o.kind {
+	case opRegister:
+		r.T = "reg"
+	case opUpdate:
+		r.T = "upd"
+	case opHub:
+		r.T = "hub"
+	}
+	j.write(r)
+}
+
+func (j *Journal) drain(epoch uint64) {
+	j.write(record{T: "drain", Epoch: epoch})
+}
+
+func (j *Journal) epoch(res EpochResult) {
+	j.write(record{
+		T: "epoch", Epoch: res.Epoch, Planned: res.Planned,
+		Clean: res.Clean, Members: res.Members, Digest: res.Digest,
+	})
+}
+
+// ReplayResult summarizes a verified replay.
+type ReplayResult struct {
+	Epochs  int // epoch boundaries re-run
+	Ops     int // operations re-admitted
+	Matched int // epoch digests compared against the journal
+}
+
+// Replay reads a captured journal, rebuilds a fresh engine from its
+// config header, re-admits every operation, re-runs every epoch at the
+// journaled boundaries, and verifies each recomputed plan digest
+// against the captured one. Any divergence — digest, planned count, or
+// membership — is an error. A trailing drain with no epoch record
+// (daemon killed mid-epoch) is tolerated.
+func Replay(r io.Reader) (ReplayResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+
+	var res ReplayResult
+	var eng *Engine
+	var pending *EpochResult
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return res, fmt.Errorf("serve: journal line %d: %w", line, err)
+		}
+		if eng == nil {
+			if rec.T != "config" {
+				return res, fmt.Errorf("serve: journal line %d: want config header, got %q", line, rec.T)
+			}
+			eng = NewEngine(Config{
+				RatioTolerance:    rec.RatioTol,
+				DistanceTolerance: rec.DistTol,
+				Window:            rec.Window,
+				HubEnergy:         units.Joule(rec.HubJ),
+				FadeMargin:        units.DB(rec.FadeDB),
+				PayloadLen:        rec.Payload,
+				QueueCap:          rec.QueueCap,
+			})
+			continue
+		}
+		var err error
+		switch rec.T {
+		case "reg":
+			err = eng.Register(rec.ID, units.Joule(rec.E), units.Meter(rec.D))
+			res.Ops++
+		case "upd":
+			err = eng.Update(rec.ID, units.Joule(rec.E), units.Meter(rec.D))
+			res.Ops++
+		case "hub":
+			err = eng.SetHubEnergy(units.Joule(rec.E))
+			res.Ops++
+		case "drain":
+			got, _ := eng.RunEpoch() // solve errors are part of the digest
+			pending = &got
+			res.Epochs++
+		case "epoch":
+			if pending == nil {
+				return res, fmt.Errorf("serve: journal line %d: epoch record with no preceding drain", line)
+			}
+			if pending.Digest != rec.Digest {
+				return res, fmt.Errorf("serve: epoch %d diverged: replay digest %s, journal %s",
+					rec.Epoch, pending.Digest, rec.Digest)
+			}
+			if pending.Planned != rec.Planned || pending.Members != rec.Members {
+				return res, fmt.Errorf("serve: epoch %d diverged: replay planned %d/%d members, journal %d/%d",
+					rec.Epoch, pending.Planned, pending.Members, rec.Planned, rec.Members)
+			}
+			pending = nil
+			res.Matched++
+		default:
+			return res, fmt.Errorf("serve: journal line %d: unknown record type %q", line, rec.T)
+		}
+		if err != nil {
+			return res, fmt.Errorf("serve: journal line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return res, err
+	}
+	if eng == nil {
+		return res, fmt.Errorf("serve: empty journal")
+	}
+	return res, nil
+}
