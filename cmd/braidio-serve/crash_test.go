@@ -1,0 +1,245 @@
+// Kill-restart chaos smoke: build the real daemon, drive it over HTTP
+// with a durable journal directory, SIGKILL it mid-epoch (operations
+// admitted and acknowledged, epoch not yet run), restart it on the same
+// directory, and demand the recovered run continues the schedule with
+// digests bit-identical to an uninterrupted in-process reference run.
+
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"braidio/internal/serve"
+	"braidio/internal/units"
+)
+
+// daemon wraps one running braidio-serve process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string   // http://host:port
+	pre  []string // stdout lines printed before "listening on" (recovery report)
+
+	mu   sync.Mutex
+	tail []string // lines printed after startup
+}
+
+// startDaemon launches the binary and blocks until it reports its
+// listen address, capturing everything printed before it (the recovery
+// lines) and draining stdout afterwards.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{cmd: exec.Command(bin, args...)}
+	d.cmd.Stderr = os.Stderr
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if _, addr, ok := strings.Cut(line, "listening on "); ok {
+			d.base = "http://" + strings.TrimSpace(strings.Split(addr, ",")[0])
+			break
+		}
+		d.pre = append(d.pre, line)
+	}
+	if d.base == "" {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+		t.Fatalf("daemon never reported a listen address; output:\n%s", strings.Join(d.pre, "\n"))
+	}
+	go func() {
+		for sc.Scan() {
+			d.mu.Lock()
+			d.tail = append(d.tail, sc.Text())
+			d.mu.Unlock()
+		}
+	}()
+	return d
+}
+
+// sigkill delivers an uncatchable kill and reaps the process.
+func (d *daemon) sigkill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	d.cmd.Wait()
+}
+
+// postHub admits a hub budget change over the wire.
+func postHub(t *testing.T, client *http.Client, base string, energy float64) {
+	t.Helper()
+	resp, err := client.Post(base+"/v1/hub", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"energy_j":%g}`, energy)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("hub: %d", resp.StatusCode)
+	}
+}
+
+// TestCrashRestartRecovery is the end-to-end kill-restart soak.
+func TestCrashRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: builds and runs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "braidio-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	jd := filepath.Join(dir, "journal.d")
+
+	const n = 10
+	energy := func(i int) float64 { return 0.3 + 0.15*float64(i) }
+	distance := func(i int) float64 { return 0.5 + 0.2*float64(i) }
+	client := &http.Client{Timeout: 10 * time.Second}
+	// -epoch 1h: epochs fire only when the test posts /v1/epoch, so the
+	// kill point is exact. -sync always: every 202 is durable.
+	args := []string{"-addr", "127.0.0.1:0", "-epoch", "1h",
+		"-journal-dir", jd, "-sync", "always", "-snapshot-every", "100"}
+
+	// Session 1: register, two epochs, then admit updates and die with
+	// them still queued (mid-epoch).
+	d1 := startDaemon(t, bin, args...)
+	regs := make([]serve.DeviceRequest, n)
+	for i := range regs {
+		regs[i] = serve.DeviceRequest{ID: memberID(i), EnergyJ: energy(i), DistanceM: distance(i)}
+	}
+	if err := postDevices(client, d1.base+"/v1/register", regs); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := runEpoch(client, d1.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd1 := make([]serve.DeviceRequest, 4)
+	for i := range upd1 {
+		upd1[i] = serve.DeviceRequest{ID: memberID(i), EnergyJ: energy(i) * 0.4, DistanceM: distance(i)}
+	}
+	if err := postDevices(client, d1.base+"/v1/update", upd1); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := runEpoch(client, d1.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd2 := make([]serve.DeviceRequest, 4)
+	for i := range upd2 {
+		upd2[i] = serve.DeviceRequest{ID: memberID(i + 4), EnergyJ: energy(i+4) * 0.45, DistanceM: distance(i + 4)}
+	}
+	if err := postDevices(client, d1.base+"/v1/update", upd2); err != nil {
+		t.Fatal(err)
+	}
+	d1.sigkill(t) // four acknowledged updates pending, epoch 3 never ran
+
+	// Session 2: recover from the same directory.
+	d2 := startDaemon(t, bin, args...)
+	defer d2.sigkill(t)
+	report := strings.Join(d2.pre, "\n")
+	for _, want := range []string{
+		"recovered from " + jd,
+		"replayed 18 ops / 2 epochs (2 digests matched)",
+		"resumed at epoch 2",
+		"recovery digest " + e2.Digest,
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("recovery report missing %q:\n%s", want, report)
+		}
+	}
+
+	e3, err := runEpoch(client, d2.base) // plans the four recovered pending updates
+	if err != nil {
+		t.Fatal(err)
+	}
+	postHub(t, client, d2.base, 5)
+	e4, err := runEpoch(client, d2.base) // hub change past tolerance: full re-plan
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4.Planned != n {
+		t.Fatalf("final epoch planned %d of %d — digest does not cover full state", e4.Planned, n)
+	}
+
+	var st serve.Stats
+	resp, err := client.Get(d2.base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Members != n || st.Epoch != 4 {
+		t.Fatalf("post-recovery stats: members %d epoch %d, want %d/4", st.Members, st.Epoch, n)
+	}
+	if want := uint64(n + 4 + 4 + 1); st.Admitted != want {
+		t.Fatalf("admitted %d, want %d — recovery lost or duplicated operations", st.Admitted, want)
+	}
+
+	// Uninterrupted reference: same schedule, one in-process engine with
+	// the daemon's default planner config. Every digest must match the
+	// two-process run bit for bit.
+	ref := serve.NewEngine(serve.Config{
+		RatioTolerance: 0.05, DistanceTolerance: 0.05, Window: 64, HubEnergy: 10,
+	})
+	for i := 0; i < n; i++ {
+		if err := ref.Register(memberID(i), units.Joule(energy(i)), units.Meter(distance(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, err := ref.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := ref.Update(memberID(i), units.Joule(energy(i)*0.4), units.Meter(distance(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r2, err := ref.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 8; i++ {
+		if err := ref.Update(memberID(i), units.Joule(energy(i)*0.45), units.Meter(distance(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r3, err := ref.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetHubEnergy(5); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := ref.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pair := range []struct{ got, want string }{
+		{e1.Digest, r1.Digest}, {e2.Digest, r2.Digest},
+		{e3.Digest, r3.Digest}, {e4.Digest, r4.Digest},
+	} {
+		if pair.got != pair.want {
+			t.Errorf("epoch %d digest %s, reference %s — kill-restart diverged", i+1, pair.got, pair.want)
+		}
+	}
+}

@@ -61,7 +61,13 @@ func runLoad(lc loadConfig) error {
 		if err != nil {
 			return err
 		}
-		srv := &http.Server{Handler: (&serve.Server{Engine: eng, Rec: rec}).Handler()}
+		srv := &http.Server{
+			Handler:           (&serve.Server{Engine: eng, Rec: rec}).Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go srv.Serve(ln)
 		defer srv.Close()
 		base = "http://" + ln.Addr().String()

@@ -10,8 +10,9 @@
 // Usage:
 //
 //	braidio-serve -addr :8080                      # run the daemon
-//	braidio-serve -journal session.jsonl           # ... with capture
-//	braidio-serve -replay session.jsonl            # verify a capture
+//	braidio-serve -journal session.jsonl           # ... with single-file capture
+//	braidio-serve -journal-dir journal.d           # ... durable: snapshots, segments, crash recovery
+//	braidio-serve -replay session.jsonl            # verify a capture (file or journal dir)
 //	braidio-serve -load -n 100000 -epochs 5        # self-contained load run
 //	braidio-serve -load -n 5000 -epochs 3 -check   # CI smoke (exit != 0 on failure)
 package main
@@ -43,7 +44,12 @@ func main() {
 	queueCap := flag.Int("queue-cap", 1<<16, "admission queue bound; overflow is shed with 503")
 	workers := flag.Int("workers", 0, "planning pool size (0 = GOMAXPROCS; plans identical at any value)")
 	journalPath := flag.String("journal", "", "capture admitted ops and epoch digests to this JSONL file")
-	replayPath := flag.String("replay", "", "replay a captured journal, verify digests, and exit")
+	journalDir := flag.String("journal-dir", "", "durable segmented journal directory; restart recovers state from it")
+	snapshotEvery := flag.Uint64("snapshot-every", 16, "journal-dir mode: epochs between snapshots (and segment rotations)")
+	syncPolicy := flag.String("sync", "epoch", "journal fsync policy: none|epoch|always")
+	retain := flag.Int("retain", 0, "journal-dir mode: pre-snapshot segments to keep past compaction")
+	failStop := flag.Bool("journal-fail-stop", true, "shed admissions with 503 once the journal has failed")
+	replayPath := flag.String("replay", "", "replay a captured journal (file or directory), verify digests, and exit")
 	load := flag.Bool("load", false, "run the load generator instead of the daemon")
 	target := flag.String("target", "", "load mode: base URL of a running daemon (empty = self-contained in-process server)")
 	loadN := flag.Int("n", 100_000, "load mode: members to register")
@@ -61,6 +67,21 @@ func main() {
 		Window:            *window,
 		HubEnergy:         units.Joule(*hubJ),
 	}
+	sync, err := serve.ParseSyncPolicy(*syncPolicy)
+	if err != nil {
+		fail(err)
+	}
+	if *journalPath != "" && *journalDir != "" {
+		fail(errors.New("-journal and -journal-dir are mutually exclusive"))
+	}
+	js := journalSetup{
+		path: *journalPath,
+		dir:  *journalDir,
+		opts: serve.JournalOptions{Sync: sync, SnapshotEvery: *snapshotEvery, Retain: *retain},
+	}
+	if js.path != "" || js.dir != "" {
+		cfg.JournalFailStop = *failStop
+	}
 
 	switch {
 	case *replayPath != "":
@@ -75,10 +96,18 @@ func main() {
 			fail(err)
 		}
 	default:
-		if err := runDaemon(*addr, *epoch, cfg, *journalPath); err != nil {
+		if err := runDaemon(*addr, *epoch, cfg, js); err != nil {
 			fail(err)
 		}
 	}
+}
+
+// journalSetup carries the daemon's durability flags: a single capture
+// file (path), a segmented recovery directory (dir), or neither.
+type journalSetup struct {
+	path string
+	dir  string
+	opts serve.JournalOptions
 }
 
 func fail(err error) {
@@ -89,28 +118,59 @@ func fail(err error) {
 // runDaemon serves until SIGINT/SIGTERM, then shuts down gracefully:
 // stop the epoch ticker, run one final flush epoch so every admitted
 // operation lands in a plan (and the journal), close the journal, drain
-// in-flight HTTP.
-func runDaemon(addr string, epochEvery time.Duration, cfg serve.Config, journalPath string) error {
+// in-flight HTTP. With -journal-dir it first recovers engine state from
+// the newest snapshot plus the journal tail.
+func runDaemon(addr string, epochEvery time.Duration, cfg serve.Config, js journalSetup) error {
 	rec := &obs.Recorder{}
 	cfg.Rec = rec
-	eng := serve.NewEngine(cfg)
+	js.opts.Rec = rec
 
-	var journal *serve.Journal
-	if journalPath != "" {
-		f, err := os.Create(journalPath)
+	var (
+		eng     *serve.Engine
+		journal *serve.Journal
+	)
+	switch {
+	case js.dir != "":
+		var st serve.RecoveryStats
+		var err error
+		eng, journal, st, err = serve.Open(js.dir, cfg, js.opts)
+		if err != nil {
+			return err
+		}
+		if st.Segments > 0 {
+			fmt.Printf("braidio-serve: recovered from %s — segment %d, snapshot epoch %d (%d members), replayed %d ops / %d epochs (%d digests matched), %d torn records, resumed at epoch %d\n",
+				js.dir, st.BaseSegment, st.SnapshotEpoch, st.SnapshotMembers,
+				st.Ops, st.Epochs, st.Matched, st.TornRecords, st.Resumed)
+			if len(st.Digests) > 0 {
+				fmt.Printf("braidio-serve: recovery digest %s\n", st.Digests[len(st.Digests)-1])
+			}
+		} else {
+			fmt.Printf("braidio-serve: starting fresh journal directory %s\n", js.dir)
+		}
+	case js.path != "":
+		eng = serve.NewEngine(cfg)
+		f, err := os.Create(js.path)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		journal = serve.NewJournal(f, eng.Config())
+		journal = serve.NewJournalFile(f, eng.Config(), js.opts)
 		eng.AttachJournal(journal)
+	default:
+		eng = serve.NewEngine(cfg)
 	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: (&serve.Server{Engine: eng, Rec: rec}).Handler()}
+	srv := &http.Server{
+		Handler:           (&serve.Server{Engine: eng, Rec: rec, EpochInterval: epochEvery}).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	// Epoch ticker: the single goroutine allowed to call RunEpoch.
 	// Ticker.Stop does not close the channel, so exit rides a quit
@@ -167,14 +227,30 @@ func runDaemon(addr string, epochEvery time.Duration, cfg serve.Config, journalP
 	return nil
 }
 
-// runReplay verifies a captured journal end to end.
+// runReplay verifies a captured journal end to end: a single-file
+// capture through Replay, a segmented journal directory through
+// VerifyDir (snapshot restore + tail digest verification).
 func runReplay(path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if info.IsDir() {
+		st, err := serve.VerifyDir(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replay ok: segment %d, snapshot epoch %d (%d members), %d tail ops, %d epochs (%d digests matched bit-identically), %d torn records, in %v\n",
+			st.BaseSegment, st.SnapshotEpoch, st.SnapshotMembers,
+			st.Ops, st.Epochs, st.Matched, st.TornRecords, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	start := time.Now()
 	res, err := serve.Replay(f)
 	if err != nil {
 		return err

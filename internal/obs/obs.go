@@ -271,6 +271,21 @@ type Recorder struct {
 	// ServeClean counts member-epochs skipped because the member's
 	// inputs stayed within tolerance of its last plan.
 	ServeClean Counter
+	// ServeSnapshots counts full-state snapshot records written to the
+	// journal (each heads a new segment).
+	ServeSnapshots Counter
+	// ServeRotations counts journal segment rotations (snapshot-triggered
+	// seal-and-start-next, including the compaction that follows).
+	ServeRotations Counter
+	// ServeRecoveries counts daemon startups that restored state from an
+	// existing journal directory (snapshot + tail replay).
+	ServeRecoveries Counter
+	// ServeTornRecords counts partial or corrupt trailing journal records
+	// truncated by crash recovery.
+	ServeTornRecords Counter
+	// ServeJournalErrors counts journal write/sync failures plus every
+	// record dropped while the journal was broken.
+	ServeJournalErrors Counter
 
 	// Tracer, when non-nil, receives mode-switch/fallback/replan/
 	// quarantine/hub-death events from sequential engine contexts. Nil

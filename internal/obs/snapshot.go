@@ -66,6 +66,8 @@ type Snapshot struct {
 	Fallbacks, FallbacksSuppressed, BackoffWaits, LinkDeaths                      uint64
 	HubRounds, MemberRounds, Replans, Quarantines, OutageRounds, HubDeaths        uint64
 	ServeRegisters, ServeUpdates, ServeSheds, ServeEpochs, ServePlans, ServeClean uint64
+	ServeSnapshots, ServeRotations, ServeRecoveries, ServeTornRecords             uint64
+	ServeJournalErrors                                                            uint64
 
 	// Bits, AirTime, DrainTX, DrainRX, SwitchEnergy are the dequantized
 	// float totals.
@@ -119,6 +121,11 @@ func (r *Recorder) Snapshot() Snapshot {
 		ServeEpochs:         r.ServeEpochs.Load(),
 		ServePlans:          r.ServePlans.Load(),
 		ServeClean:          r.ServeClean.Load(),
+		ServeSnapshots:      r.ServeSnapshots.Load(),
+		ServeRotations:      r.ServeRotations.Load(),
+		ServeRecoveries:     r.ServeRecoveries.Load(),
+		ServeTornRecords:    r.ServeTornRecords.Load(),
+		ServeJournalErrors:  r.ServeJournalErrors.Load(),
 		Bits:                r.Bits.Load(),
 		RawBits:             r.Bits.raw(),
 		AirTime:             r.AirTime.Load(),
@@ -259,6 +266,11 @@ func (s *Snapshot) WriteTable(w io.Writer) error {
 		{"epochs", fmt.Sprint(s.ServeEpochs)},
 		{"plans solved", fmt.Sprint(s.ServePlans)},
 		{"clean skips", fmt.Sprint(s.ServeClean)},
+		{"snapshots", fmt.Sprint(s.ServeSnapshots)},
+		{"segment rotations", fmt.Sprint(s.ServeRotations)},
+		{"recoveries", fmt.Sprint(s.ServeRecoveries)},
+		{"torn records", fmt.Sprint(s.ServeTornRecords)},
+		{"journal errors", fmt.Sprint(s.ServeJournalErrors)},
 	}
 	if err := ascii.Table(w, []string{"Counter", "Value"}, rows); err != nil {
 		return err
@@ -331,6 +343,11 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	counter("braidio_serve_epochs_total", "Serving epochs executed.", s.ServeEpochs)
 	counter("braidio_serve_plans_total", "Member plans solved (dirty members only).", s.ServePlans)
 	counter("braidio_serve_clean_total", "Member-epochs skipped as within-tolerance.", s.ServeClean)
+	counter("braidio_serve_snapshots_total", "Journal snapshot records written.", s.ServeSnapshots)
+	counter("braidio_serve_rotations_total", "Journal segment rotations.", s.ServeRotations)
+	counter("braidio_serve_recoveries_total", "Daemon startups recovered from a journal directory.", s.ServeRecoveries)
+	counter("braidio_serve_torn_records_total", "Torn trailing journal records truncated by recovery.", s.ServeTornRecords)
+	counter("braidio_serve_journal_errors_total", "Journal write failures and records dropped while broken.", s.ServeJournalErrors)
 	counter("braidio_linkcache_hits_total", "PHY link cache hits.", s.Cache.Hits)
 	counter("braidio_linkcache_misses_total", "PHY link cache misses.", s.Cache.Misses)
 	counter("braidio_linkcache_evictions_total", "PHY link cache evictions.", s.Cache.Evictions)

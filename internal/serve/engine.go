@@ -57,6 +57,12 @@ type Config struct {
 	FadeMargin units.DB
 	// PayloadLen sets the PHY framing (bytes); 0 keeps the model default.
 	PayloadLen int
+	// JournalFailStop, when a journal is attached, sheds every admission
+	// (ErrJournalBroken, HTTP 503) once the journal has failed — the
+	// engine stops accepting operations it cannot make durable. Off, the
+	// engine keeps serving and the broken journal is visible only through
+	// Stats and /healthz.
+	JournalFailStop bool
 	// Rec receives serve counters; nil disables recording.
 	Rec *obs.Recorder
 }
@@ -146,8 +152,9 @@ type Engine struct {
 	cfg   Config
 	model *phy.Model
 
-	queueMu sync.Mutex
-	queue   []op
+	queueMu  sync.Mutex
+	queue    []op
+	admitted uint64 // cumulative ops admitted, ever (incl. restored history)
 
 	mu        sync.RWMutex
 	hubEnergy units.Joule
@@ -195,9 +202,24 @@ func (e *Engine) AttachJournal(j *Journal) {
 // full — the backpressure signal the HTTP layer maps to 503.
 var ErrShed = errors.New("serve: admission queue full, operation shed")
 
-// enqueue admits an operation or sheds it when the queue is full.
+// ErrJournalBroken reports an operation shed under the fail-stop policy
+// because the attached journal has failed: the engine refuses to admit
+// what it cannot make durable. Also mapped to HTTP 503.
+var ErrJournalBroken = errors.New("serve: journal broken, admission refused (fail-stop)")
+
+// enqueue admits an operation or sheds it when the queue is full (or,
+// under fail-stop, when the journal is broken).
 func (e *Engine) enqueue(o op) error {
 	e.queueMu.Lock()
+	if e.cfg.JournalFailStop && e.journal != nil {
+		if err := e.journal.Err(); err != nil {
+			e.queueMu.Unlock()
+			if e.cfg.Rec != nil {
+				e.cfg.Rec.ServeSheds.Add(1)
+			}
+			return fmt.Errorf("%w: %v", ErrJournalBroken, err)
+		}
+	}
 	if len(e.queue) >= e.cfg.QueueCap {
 		e.queueMu.Unlock()
 		if e.cfg.Rec != nil {
@@ -206,6 +228,7 @@ func (e *Engine) enqueue(o op) error {
 		return ErrShed
 	}
 	e.queue = append(e.queue, o)
+	e.admitted++
 	// Journal inside the critical section: journal order must be
 	// admission order or the replay diverges.
 	if e.journal != nil {
@@ -213,6 +236,18 @@ func (e *Engine) enqueue(o op) error {
 	}
 	e.queueMu.Unlock()
 	return nil
+}
+
+// JournalErr returns the attached journal's sticky error, nil when no
+// journal is attached or it is healthy. Surfaced by /healthz and Stats.
+func (e *Engine) JournalErr() error {
+	e.queueMu.Lock()
+	j := e.journal
+	e.queueMu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Err()
 }
 
 // Register admits a new member (or re-registers an existing one; the
@@ -268,21 +303,38 @@ type Stats struct {
 	QueueCap   int     `json:"queue_cap"`
 	Epoch      uint64  `json:"epoch"`
 	HubEnergy  float64 `json:"hub_energy_j"`
+	// Admitted is the cumulative count of operations ever admitted,
+	// surviving restarts (recovery restores it from the snapshot and
+	// replayed tail) — an engine's exact position in an op schedule.
+	Admitted uint64 `json:"admitted"`
+	// JournalError carries the attached journal's sticky error, empty
+	// when healthy or no journal is attached.
+	JournalError string `json:"journal_error,omitempty"`
 }
 
 // Stats reports membership, queue depth, and the last completed epoch.
 func (e *Engine) Stats() Stats {
 	e.queueMu.Lock()
 	depth := len(e.queue)
+	admitted := e.admitted
+	journal := e.journal
 	e.queueMu.Unlock()
+	var jerr string
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			jerr = err.Error()
+		}
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return Stats{
-		Members:    len(e.order),
-		QueueDepth: depth,
-		QueueCap:   e.cfg.QueueCap,
-		Epoch:      e.epoch,
-		HubEnergy:  float64(e.hubEnergy),
+		Members:      len(e.order),
+		QueueDepth:   depth,
+		QueueCap:     e.cfg.QueueCap,
+		Epoch:        e.epoch,
+		HubEnergy:    float64(e.hubEnergy),
+		Admitted:     admitted,
+		JournalError: jerr,
 	}
 }
 
@@ -393,6 +445,12 @@ func (e *Engine) RunEpoch() (EpochResult, error) {
 	}
 	if journal != nil {
 		journal.epoch(res)
+		// Snapshot-triggered rotation: every SnapshotEvery epochs the
+		// journal starts a new segment headed by a full-state snapshot
+		// (which carries the pending queue) and compacts the old ones.
+		if journal.wantSnapshot(epoch) {
+			e.snapshotNow(journal)
+		}
 	}
 	return res, solveErr
 }

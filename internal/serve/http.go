@@ -11,8 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"braidio/internal/obs"
 	"braidio/internal/units"
@@ -23,7 +26,19 @@ import (
 type Server struct {
 	Engine *Engine
 	Rec    *obs.Recorder
+	// EpochInterval is the daemon's epoch ticker period; shed responses
+	// derive their Retry-After from it and the queue depth, so
+	// backpressure scales with the actual drain rate. Zero falls back to
+	// a one-second hint.
+	EpochInterval time.Duration
+	// MaxBodyBytes caps POST request bodies (http.MaxBytesReader; 413 on
+	// overflow). Zero selects 64 MiB — comfortably above the load
+	// generator's largest batches.
+	MaxBodyBytes int64
 }
+
+// defaultMaxBodyBytes is the POST body cap when MaxBodyBytes is zero.
+const defaultMaxBodyBytes = 64 << 20
 
 // DeviceRequest is the wire shape for register and update: who, how
 // much battery is left, and how far the link currently reaches.
@@ -43,10 +58,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/plan", s.plan)
 	mux.HandleFunc("/v1/stats", s.stats)
 	mux.HandleFunc("/metrics", s.metrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("/healthz", s.healthz)
 	return mux
+}
+
+// healthz reports liveness — and durability: a broken journal turns the
+// daemon unhealthy (503) so orchestrators restart it into recovery
+// instead of letting it admit operations it cannot replay.
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Engine.JournalErr(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "journal broken", "error": err.Error(),
+		})
+		return
+	}
+	io.WriteString(w, "ok\n")
 }
 
 // writeJSON writes v with a status code.
@@ -56,13 +82,41 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// writeErr maps engine errors onto status codes: a shed is 503 (back
-// off and retry), anything else from admission is the caller's fault.
-func writeErr(w http.ResponseWriter, err error) {
+// retryAfterSeconds derives a shed response's Retry-After from how long
+// the backlog will take to drain: a full queue is at least one epoch
+// behind, and every additional queue-capacity's worth of depth is
+// another epoch. A non-positive interval (manual epochs only) falls
+// back to a one-second hint.
+func retryAfterSeconds(depth, queueCap int, interval time.Duration) int {
+	if interval <= 0 {
+		return 1
+	}
+	epochs := 1
+	if queueCap > 0 {
+		epochs += depth / queueCap
+	}
+	secs := int(math.Ceil(float64(epochs) * interval.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// writeErr maps engine errors onto status codes: a shed — queue full or
+// journal broken under fail-stop — is 503 with a drain-rate-derived
+// Retry-After; anything else from admission is the caller's fault. A
+// body over MaxBodyBytes is 413.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
-	if errors.Is(err, ErrShed) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrShed), errors.Is(err, ErrJournalBroken):
 		code = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
+		st := s.Engine.Stats()
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterSeconds(st.QueueDepth, st.QueueCap, s.EpochInterval)))
+	case errors.As(err, &tooBig):
+		code = http.StatusRequestEntityTooLarge
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
@@ -77,9 +131,13 @@ func (s *Server) device(admit func(string, units.Joule, units.Meter) error) http
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		limit := s.MaxBodyBytes
+		if limit <= 0 {
+			limit = defaultMaxBodyBytes
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 		if err != nil {
-			writeErr(w, err)
+			s.writeErr(w, err)
 			return
 		}
 		var reqs []DeviceRequest
@@ -90,12 +148,12 @@ func (s *Server) device(admit func(string, units.Joule, units.Meter) error) http
 			err = json.Unmarshal(body, &reqs[0])
 		}
 		if err != nil {
-			writeErr(w, fmt.Errorf("serve: bad request body: %w", err))
+			s.writeErr(w, fmt.Errorf("serve: bad request body: %w", err))
 			return
 		}
 		for i, q := range reqs {
 			if err := admit(q.ID, units.Joule(q.EnergyJ), units.Meter(q.DistanceM)); err != nil {
-				writeErr(w, fmt.Errorf("entry %d: %w", i, err))
+				s.writeErr(w, fmt.Errorf("entry %d: %w", i, err))
 				return
 			}
 		}
@@ -113,12 +171,12 @@ func (s *Server) hub(w http.ResponseWriter, r *http.Request) {
 	var q struct {
 		EnergyJ float64 `json:"energy_j"`
 	}
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&q); err != nil {
-		writeErr(w, fmt.Errorf("serve: bad request body: %w", err))
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&q); err != nil {
+		s.writeErr(w, fmt.Errorf("serve: bad request body: %w", err))
 		return
 	}
 	if err := s.Engine.SetHubEnergy(units.Joule(q.EnergyJ)); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]int{"admitted": 1})
@@ -146,7 +204,7 @@ func (s *Server) epoch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) plan(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
 	if id == "" {
-		writeErr(w, errors.New("serve: missing id parameter"))
+		s.writeErr(w, errors.New("serve: missing id parameter"))
 		return
 	}
 	p, ok := s.Engine.PlanFor(id)

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"braidio/internal/obs"
 )
@@ -205,5 +206,122 @@ func TestHTTPValidation(t *testing.T) {
 	r.Body.Close()
 	if r.StatusCode != http.StatusOK {
 		t.Errorf("healthz: %d", r.StatusCode)
+	}
+}
+
+// TestRetryAfterSeconds pins the derived backpressure hint: one epoch
+// for any backlog, plus one per additional queue-capacity of depth,
+// scaled by the epoch interval.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		depth, cap int
+		interval   time.Duration
+		want       int
+	}{
+		{0, 100, 0, 1},                      // no interval: fixed hint
+		{0, 100, -time.Second, 1},           // negative interval: fixed hint
+		{0, 100, 2 * time.Second, 2},        // one epoch to drain
+		{100, 100, 2 * time.Second, 4},      // a full extra queue: two epochs
+		{250, 100, 2 * time.Second, 6},      // deep backlog: three epochs
+		{0, 0, 2 * time.Second, 2},          // unbounded cap: one epoch
+		{0, 100, 100 * time.Millisecond, 1}, // sub-second rounds up
+		{0, 100, 1500 * time.Millisecond, 2},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.depth, c.cap, c.interval); got != c.want {
+			t.Errorf("retryAfterSeconds(%d, %d, %v) = %d, want %d", c.depth, c.cap, c.interval, got, c.want)
+		}
+	}
+}
+
+// TestHTTPShedRetryAfterDerived checks the header on the wire carries
+// the drain-rate-derived value, not the old hardcoded 1.
+func TestHTTPShedRetryAfterDerived(t *testing.T) {
+	cfg := testConfig(nil)
+	cfg.QueueCap = 2
+	e := NewEngine(cfg)
+	ts := httptest.NewServer((&Server{Engine: e, EpochInterval: 3 * time.Second}).Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/register", DeviceRequest{ID: fmt.Sprintf("d%d", i), EnergyJ: 1, DistanceM: 1})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("register %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/register", DeviceRequest{ID: "overflow", EnergyJ: 1, DistanceM: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow: %d, want 503", resp.StatusCode)
+	}
+	// Depth 2 at cap 2 is a full queue: 2 epochs x 3s.
+	if got := resp.Header.Get("Retry-After"); got != "6" {
+		t.Errorf("Retry-After = %q, want \"6\"", got)
+	}
+}
+
+// TestHTTPBodyLimit checks oversized POST bodies are rejected with 413
+// instead of being buffered whole.
+func TestHTTPBodyLimit(t *testing.T) {
+	e := NewEngine(testConfig(nil))
+	ts := httptest.NewServer((&Server{Engine: e, MaxBodyBytes: 256}).Handler())
+	t.Cleanup(ts.Close)
+
+	big := make([]DeviceRequest, 64)
+	for i := range big {
+		big[i] = DeviceRequest{ID: fmt.Sprintf("pad-%032d", i), EnergyJ: 1, DistanceM: 1}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/register", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want 413", resp.StatusCode)
+	}
+	// A small request on the same server still goes through.
+	resp, body := postJSON(t, ts.URL+"/v1/register", DeviceRequest{ID: "ok", EnergyJ: 1, DistanceM: 1})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("small body: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPJournalBroken checks the durability surface over the wire: a
+// broken journal under fail-stop turns /healthz unhealthy, sheds
+// admissions with 503 + Retry-After, and shows up in /v1/stats.
+func TestHTTPJournalBroken(t *testing.T) {
+	rec := &obs.Recorder{}
+	cfg := testConfig(rec)
+	cfg.JournalFailStop = true
+	ts, e := newTestServer(t, cfg)
+	e.AttachJournal(brokenJournal(rec))
+
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with broken journal: %d, want 503", r.StatusCode)
+	}
+	if !strings.Contains(string(hb), "journal broken") {
+		t.Errorf("healthz body %q does not name the journal", hb)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/register", DeviceRequest{ID: "x", EnergyJ: 1, DistanceM: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("register with broken journal: %d %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("fail-stop shed missing Retry-After")
+	}
+
+	r2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(r2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if st.JournalError == "" {
+		t.Error("stats JournalError empty with broken journal")
 	}
 }

@@ -85,24 +85,74 @@ func TestReplayWorkerInvariance(t *testing.T) {
 	}
 }
 
-// TestReplayDetectsTampering flips one digest nibble and checks the
+// TestReplayDetectsTampering flips one digest nibble — re-framing the
+// line with a freshly computed CRC, so the checksum passes and the
+// semantic digest comparison is what must catch it — and checks the
 // replay reports divergence.
 func TestReplayDetectsTampering(t *testing.T) {
 	journal := string(captureSession(t, 2))
-	idx := strings.LastIndex(journal, `"digest":"`)
-	if idx < 0 {
+	lines := strings.Split(strings.TrimRight(journal, "\n"), "\n")
+	tampered := -1
+	for i, l := range lines {
+		if !strings.Contains(l, `"digest":"`) {
+			continue
+		}
+		pos := strings.Index(l, `"digest":"`) + len(`"digest":"`)
+		flipped := byte('0')
+		if l[pos] == '0' {
+			flipped = '1'
+		}
+		payload := []byte(l[frameLen:pos] + string(flipped) + l[pos+1:])
+		lines[i] = strings.TrimSuffix(string(frameLine(payload)), "\n")
+		tampered = i
+	}
+	if tampered < 0 {
 		t.Fatal("no digest in journal")
 	}
-	pos := idx + len(`"digest":"`)
-	flipped := byte('0')
-	if journal[pos] == '0' {
-		flipped = '1'
-	}
-	tampered := journal[:pos] + string(flipped) + journal[pos+1:]
-	if _, err := Replay(strings.NewReader(tampered)); err == nil {
+	in := strings.Join(lines, "\n") + "\n"
+	if _, err := Replay(strings.NewReader(in)); err == nil {
 		t.Fatal("replay accepted a tampered digest")
 	} else if !strings.Contains(err.Error(), "diverged") {
 		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestReplayDetectsCRCCorruption flips a payload byte mid-file without
+// fixing the frame: the CRC must catch it, and because valid records
+// follow, it is corruption (hard error), not a tolerated torn tail.
+func TestReplayDetectsCRCCorruption(t *testing.T) {
+	journal := captureSession(t, 2)
+	lines := bytes.Split(bytes.TrimRight(journal, "\n"), []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatal("journal too short")
+	}
+	mid := lines[len(lines)/2]
+	mid[frameLen] ^= 0x01 // first payload byte
+	in := append(bytes.Join(lines, []byte("\n")), '\n')
+	_, err := Replay(bytes.NewReader(in))
+	if err == nil {
+		t.Fatal("replay accepted a CRC-corrupt record with valid history after it")
+	}
+	if !strings.Contains(err.Error(), "crc mismatch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestReplayToleratesCorruptFinalRecord corrupts only the last record:
+// with nothing readable after it, that is indistinguishable from a torn
+// tail and must be tolerated, reported in Torn.
+func TestReplayToleratesCorruptFinalRecord(t *testing.T) {
+	journal := captureSession(t, 2)
+	trimmed := bytes.TrimRight(journal, "\n")
+	corrupt := append([]byte(nil), trimmed...)
+	corrupt[len(corrupt)-2] ^= 0x01
+	corrupt = append(corrupt, '\n')
+	res, err := Replay(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatalf("replay of journal with corrupt final record: %v", err)
+	}
+	if res.Torn != 1 {
+		t.Fatalf("Torn = %d, want 1", res.Torn)
 	}
 }
 

@@ -1,0 +1,220 @@
+// Snapshot records: the full engine state — membership in registration
+// order with every member's committed plan, the hub budget, the epoch
+// counter, the cumulative admitted-operation count, and the pending
+// admission queue — serialized as one journal record. Every segment
+// begins with a snapshot, so recovery restores the newest snapshot and
+// replays only that segment's tail instead of the whole history from
+// genesis.
+//
+// Exactness contract: every float crosses JSON via Go's shortest
+// round-trippable encoding, so a restored engine holds bit-identical
+// energies, distances, ratios, and plan fractions — which is what lets
+// recovery re-verify tail epoch digests bit for bit and resume with
+// digests indistinguishable from an uninterrupted run.
+
+package serve
+
+import (
+	"fmt"
+
+	"braidio/internal/units"
+)
+
+// journalConfig is the planner-semantic slice of Config embedded in
+// snapshots (and, flat, in legacy config headers): the fields that must
+// match the capture for digests to reproduce. Operational fields
+// (Workers, QueueCap, Rec, JournalFailStop) are deliberately absent —
+// they never affect plan bits and are taken from the restarting
+// daemon's own flags.
+type journalConfig struct {
+	RatioTol float64 `json:"ratio_tol,omitempty"`
+	DistTol  float64 `json:"dist_tol,omitempty"`
+	Window   int     `json:"window,omitempty"`
+	HubJ     float64 `json:"hub_j,omitempty"`
+	FadeDB   float64 `json:"fade_db,omitempty"`
+	Payload  int     `json:"payload,omitempty"`
+}
+
+// journalConfigOf extracts the planner-semantic fields of cfg.
+func journalConfigOf(cfg Config) journalConfig {
+	return journalConfig{
+		RatioTol: cfg.RatioTolerance, DistTol: cfg.DistanceTolerance,
+		Window: cfg.Window, HubJ: float64(cfg.HubEnergy),
+		FadeDB: float64(cfg.FadeMargin), Payload: cfg.PayloadLen,
+	}
+}
+
+// mergeConfig overlays the journal's planner-semantic fields onto the
+// caller's operational ones: tolerances, window, budgets, and PHY
+// framing come from the capture (digest continuity), worker count and
+// queue bound from the restarting process.
+func mergeConfig(caller Config, jc journalConfig) Config {
+	caller.RatioTolerance = jc.RatioTol
+	caller.DistanceTolerance = jc.DistTol
+	caller.Window = jc.Window
+	caller.HubEnergy = units.Joule(jc.HubJ)
+	caller.FadeMargin = units.DB(jc.FadeDB)
+	caller.PayloadLen = jc.Payload
+	return caller
+}
+
+// memberRecord is one member's snapshot state: inputs, dirty flag, and
+// the committed plan (nil when no epoch has planned it yet).
+type memberRecord struct {
+	ID    string  `json:"id"`
+	E     float64 `json:"e"`
+	D     float64 `json:"d"`
+	Dirty bool    `json:"dirty,omitempty"`
+	Plan  *Plan   `json:"plan,omitempty"`
+}
+
+// queuedOp is one pending admission captured inside a snapshot: an
+// operation admitted (and journaled) after the last drain but not yet
+// applied. The snapshot carries the queue so rotation can delete the
+// old segment — including those ops' records — without losing them.
+type queuedOp struct {
+	T  string  `json:"t"`
+	ID string  `json:"id,omitempty"`
+	E  float64 `json:"e,omitempty"`
+	D  float64 `json:"d,omitempty"`
+}
+
+// snapshotRecord is the full durable engine state at an epoch boundary.
+type snapshotRecord struct {
+	// Epoch is the last completed epoch; recovery resumes the counter
+	// here and the first replayed drain must carry Epoch+1.
+	Epoch uint64 `json:"epoch"`
+	// Ops is the cumulative admitted-operation count (including the
+	// pending Queue), letting operators and soak tests locate a
+	// recovered engine's exact position in an operation schedule.
+	Ops uint64 `json:"ops"`
+	// HubJ is the current hub-side budget (tracks SetHubEnergy, unlike
+	// the config's initial value).
+	HubJ float64 `json:"hub_j"`
+	// Cfg is the planner-semantic configuration; see journalConfig.
+	Cfg journalConfig `json:"cfg"`
+	// Members is the membership in registration order — the order the
+	// digest commits in, so it must be preserved exactly.
+	Members []memberRecord `json:"members,omitempty"`
+	// Queue is the pending admission queue in admission order.
+	Queue []queuedOp `json:"queue,omitempty"`
+}
+
+// wireType maps an op kind to its journal record type tag.
+func (o op) wireType() string {
+	switch o.kind {
+	case opRegister:
+		return "reg"
+	case opUpdate:
+		return "upd"
+	default:
+		return "hub"
+	}
+}
+
+// opFromWire reverses wireType; ok is false for unknown tags.
+func opFromWire(t, id string, e, d float64) (op, bool) {
+	o := op{id: id, energy: units.Joule(e), distance: units.Meter(d)}
+	switch t {
+	case "reg":
+		o.kind = opRegister
+	case "upd":
+		o.kind = opUpdate
+	case "hub":
+		o.kind = opHub
+	default:
+		return op{}, false
+	}
+	return o, true
+}
+
+// buildSnapshot assembles the engine's snapshot record. The caller must
+// hold e.queueMu (freezing the pending queue and the admitted counter
+// against concurrent admissions — and, because journal writes happen
+// inside that same critical section, freezing the journal stream at
+// exactly this point); committed state is read under e.mu.RLock.
+func (e *Engine) buildSnapshot() *snapshotRecord {
+	e.mu.RLock()
+	snap := &snapshotRecord{
+		Epoch: e.epoch,
+		Ops:   e.admitted,
+		HubJ:  float64(e.hubEnergy),
+		Cfg:   journalConfigOf(e.cfg),
+	}
+	if n := len(e.order); n > 0 {
+		snap.Members = make([]memberRecord, 0, n)
+	}
+	for _, m := range e.order {
+		mr := memberRecord{ID: m.id, E: float64(m.energy), D: float64(m.distance), Dirty: m.dirty}
+		if m.hasPlan {
+			p := m.plan
+			mr.Plan = &p
+		}
+		snap.Members = append(snap.Members, mr)
+	}
+	e.mu.RUnlock()
+	if n := len(e.queue); n > 0 {
+		snap.Queue = make([]queuedOp, 0, n)
+	}
+	for _, o := range e.queue {
+		snap.Queue = append(snap.Queue, queuedOp{T: o.wireType(), ID: o.id, E: float64(o.energy), D: float64(o.distance)})
+	}
+	return snap
+}
+
+// restoreSnapshot loads a snapshot into a freshly built engine (no
+// traffic yet): membership in order, plans, hub budget, epoch counter,
+// admitted count, and the pending queue. It validates structural
+// invariants so a corrupted-but-CRC-valid snapshot cannot seed an
+// engine that panics later.
+func (e *Engine) restoreSnapshot(s *snapshotRecord) error {
+	if s.HubJ <= 0 {
+		return fmt.Errorf("serve: snapshot has non-positive hub energy %v", s.HubJ)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.epoch = s.Epoch
+	e.hubEnergy = units.Joule(s.HubJ)
+	for _, mr := range s.Members {
+		if mr.ID == "" {
+			return fmt.Errorf("serve: snapshot member with empty id")
+		}
+		if _, dup := e.members[mr.ID]; dup {
+			return fmt.Errorf("serve: snapshot member %q duplicated", mr.ID)
+		}
+		if mr.E <= 0 || mr.D <= 0 {
+			return fmt.Errorf("serve: snapshot member %q has non-positive energy %v or distance %v", mr.ID, mr.E, mr.D)
+		}
+		m := &member{id: mr.ID, energy: units.Joule(mr.E), distance: units.Meter(mr.D), dirty: mr.Dirty}
+		if mr.Plan != nil {
+			m.plan = *mr.Plan
+			m.hasPlan = true
+		}
+		e.members[m.id] = m
+		e.order = append(e.order, m)
+	}
+	e.queueMu.Lock()
+	defer e.queueMu.Unlock()
+	e.admitted = s.Ops
+	for i, q := range s.Queue {
+		o, ok := opFromWire(q.T, q.ID, q.E, q.D)
+		if !ok {
+			return fmt.Errorf("serve: snapshot queue entry %d has unknown type %q", i, q.T)
+		}
+		e.queue = append(e.queue, o)
+	}
+	return nil
+}
+
+// snapshotNow builds a snapshot under the admission lock and hands it
+// to the journal for a rotate-and-compact. Called from RunEpoch (under
+// epochMu) right after the epoch record, so the snapshot state is the
+// just-committed epoch plus whatever the queue has gathered since the
+// drain — and every op journaled after this point lands in the new
+// segment, keeping journal order equal to admission order across the
+// rotation boundary.
+func (e *Engine) snapshotNow(j *Journal) {
+	e.queueMu.Lock()
+	defer e.queueMu.Unlock()
+	j.snapshotRotate(e.buildSnapshot())
+}
