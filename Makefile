@@ -55,10 +55,10 @@ cover:
 
 # Run the benchmark suite (paper tables/figures, the waveform engine and
 # Monte Carlo sweeps, plus the hub/fleet engine), keep the raw text, and
-# distill it into the machine-readable perf record BENCH_pr5.json.
+# distill it into the machine-readable perf record BENCH_pr8.json.
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem . ./internal/hub | tee bench_output.txt
-	$(GO) run ./cmd/braidio-bench -benchjson BENCH_pr5.json < bench_output.txt
+	$(GO) run ./cmd/braidio-bench -benchjson BENCH_pr8.json < bench_output.txt
 
 # Quick compile-and-run smoke over every benchmark in the repo (one
 # iteration each); CI runs this to keep benchmarks from bit-rotting.
@@ -75,7 +75,7 @@ bench-smoke:
 bench-diff:
 	$(GO) test -run=NONE -bench=. -benchmem -benchtime=100ms . ./internal/hub > bench_diff_output.txt
 	$(GO) run ./cmd/braidio-bench -benchjson bench_new.json < bench_diff_output.txt
-	$(GO) run ./cmd/braidio-bench -benchdiff BENCH_pr5.json -threshold 2.0 bench_new.json
+	$(GO) run ./cmd/braidio-bench -benchdiff BENCH_pr8.json -threshold 2.0 bench_new.json
 
 # Print every reproduced artifact to stdout.
 repro:

@@ -224,6 +224,28 @@ func runLoad(lc loadConfig) error {
 	fmt.Printf("load: metrics confirm %d plans for %d members across %d epochs — re-plans stayed proportional to drift\n",
 		metrics["braidio_serve_plans_total"], metrics["braidio_serve_members"], metrics["braidio_serve_epochs_total"])
 
+	// Phase 4: plan-latency shape from /v1/stats. The first planning
+	// epoch is the cold bulk plan — arena growth plus a full-population
+	// solve — while the last is a warm steady-state epoch planning only
+	// the drifted subset out of a capacity-warm arena. The batched
+	// columnar solver's claim is precisely that the steady state is
+	// cheap; assert it.
+	st, err := fetchStats(client, base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("load: plan latency p50 %.3fms p99 %.3fms, first (cold, bulk) %.3fms, last (warm, drift-only) %.3fms\n",
+		st.PlanP50Millis, st.PlanP99Millis, st.FirstPlanMillis, st.LastPlanMillis)
+	if st.FirstPlanMillis <= 0 || st.LastPlanMillis <= 0 {
+		failures++
+		fmt.Printf("load: FAIL plan latency not recorded (first %.3fms, last %.3fms)\n",
+			st.FirstPlanMillis, st.LastPlanMillis)
+	} else if st.LastPlanMillis >= st.FirstPlanMillis {
+		failures++
+		fmt.Printf("load: FAIL warm drift-only epoch (%.3fms) did not beat the cold bulk plan (%.3fms)\n",
+			st.LastPlanMillis, st.FirstPlanMillis)
+	}
+
 	if failures > 0 {
 		err := fmt.Errorf("load: %d verification failures", failures)
 		if lc.check {
@@ -269,6 +291,21 @@ func runEpoch(client *http.Client, base string) (serve.EpochResult, error) {
 		return res, fmt.Errorf("load: epoch: %d %s", resp.StatusCode, bytes.TrimSpace(body))
 	}
 	return res, json.Unmarshal(body, &res)
+}
+
+// fetchStats decodes /v1/stats.
+func fetchStats(client *http.Client, base string) (serve.Stats, error) {
+	var st serve.Stats
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("load: stats: %d %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return st, json.Unmarshal(body, &st)
 }
 
 // scrapeMetrics fetches /metrics and parses the un-labelled series into

@@ -58,6 +58,15 @@ type Braid struct {
 	// DisableLinkCache bypasses the shared linkcache and characterizes
 	// the PHY directly on every run.
 	DisableLinkCache bool
+	// Links, when non-nil, supplies the run's characterized links
+	// directly and skips per-run characterization — the hub's plan
+	// phase batch-characterizes every member up front and presets each
+	// braid with the result. Callers must pass the canonical shared
+	// slices linkcache returns for (Model, Distance): the cross-run
+	// allocation memo compares slice identity to detect moved members,
+	// and a private copy would defeat (or, if mutated in place, corrupt)
+	// that check.
+	Links []phy.ModeLink
 	// Obs, when non-nil, receives run totals, per-mode occupancy, and
 	// solver metrics. Nil falls back to the process default recorder
 	// (obs.Active); attaching a recorder never changes a run's Result.
@@ -98,8 +107,11 @@ type Result struct {
 	// Drain1 and Drain2 are the energies drawn at transmitter and
 	// receiver.
 	Drain1, Drain2 units.Joule
-	// ModeBits attributes delivered bits to modes.
-	ModeBits map[phy.Mode]float64
+	// ModeBits attributes delivered bits to modes, indexed by phy.Mode
+	// — a flat array rather than a map, so resetting a reused Result is
+	// a zeroing store and per-epoch attribution is an indexed add with
+	// no hashing (the hub commits one of these per member per round).
+	ModeBits [phy.NumModes]float64
 	// Switches counts mode transitions; SwitchEnergy1/2 their cost.
 	Switches                     int
 	SwitchEnergy1, SwitchEnergy2 units.Joule
@@ -150,9 +162,8 @@ var ErrLinkDead = errors.New("core: link dead after bounded recovery attempts")
 type RunScratch struct {
 	counts     []int
 	remainders []float64
-	// alloc and p back the default optimizer's in-place solves.
+	// alloc backs the default optimizer's in-place solves.
 	alloc Allocation
-	p     []float64
 	// Allocation memo: the last solved fractions (owned copy — the
 	// in-place solver overwrites alloc.P) and the state they were
 	// solved at. Unlike the pre-scratch engine the memo survives across
@@ -183,7 +194,7 @@ func (b *Braid) Run(b1, b2 *energy.Battery) (*Result, error) {
 }
 
 // RunInto is Run with caller-owned result and scratch storage: res is
-// reset (its ModeBits map is reused when present) and s, when non-nil,
+// reset in place and s, when non-nil,
 // supplies the schedule/optimizer buffers and carries the allocation
 // memo across calls. A nil s uses throwaway scratch, making RunInto
 // byte-identical to Run. The hub's fleet engine calls this once per
@@ -199,16 +210,14 @@ func (b *Braid) RunInto(res *Result, s *RunScratch, b1, b2 *energy.Battery) erro
 	if s == nil {
 		s = &RunScratch{}
 	}
-	if res.ModeBits == nil {
-		res.ModeBits = make(map[phy.Mode]float64)
-	} else {
-		clear(res.ModeBits)
-	}
-	*res = Result{ModeBits: res.ModeBits}
+	*res = Result{}
 	var links []phy.ModeLink
-	if b.DisableLinkCache {
+	switch {
+	case b.Links != nil:
+		links = b.Links
+	case b.DisableLinkCache:
 		links = b.Model.Characterize(b.Distance)
-	} else {
+	default:
 		links = linkcache.Characterize(b.Model, b.Distance)
 	}
 	if len(links) == 0 {
@@ -276,10 +285,7 @@ func (b *Braid) RunInto(res *Result, s *RunScratch, b1, b2 *energy.Battery) erro
 				}
 				alloc = a
 			} else {
-				if cap(s.p) < len(links) {
-					s.p = make([]float64, len(links))
-				}
-				if err := optimizeInto(&s.alloc, s.p[:len(links)], links, e1, e2); err != nil {
+				if err := optimizeInto(&s.alloc, links, e1, e2); err != nil {
 					return err
 				}
 				alloc = &s.alloc

@@ -112,26 +112,37 @@ func bitsFor(tx, rx units.JoulesPerBit, e1, e2 units.Joule) float64 {
 // ratio exactly matches E1:E2; Optimize enumerates all of them.
 func Optimize(links []phy.ModeLink, e1, e2 units.Joule) (*Allocation, error) {
 	a := &Allocation{}
-	if err := optimizeInto(a, make([]float64, len(links)), links, e1, e2); err != nil {
+	if err := optimizeInto(a, links, e1, e2); err != nil {
 		return nil, err
 	}
 	return a, nil
 }
 
 // OptimizeInto is Optimize solving into caller-owned storage: dst's P
-// slice is resized in place and scratch (len ≥ len(links)) is the
-// candidate-vector workspace. core.Braid's default-optimizer path and
-// the serve daemon's epoch planner call it with persistent buffers so a
-// solve performs no heap allocation.
+// slice is resized in place. scratch is retained for API compatibility
+// and no longer used — the enumeration tracks the winning candidate by
+// index instead of materializing fraction vectors. core.Braid's
+// default-optimizer path and the serve daemon's epoch planner call this
+// with persistent dst buffers so a solve performs no heap allocation.
 func OptimizeInto(dst *Allocation, scratch []float64, links []phy.ModeLink, e1, e2 units.Joule) error {
-	return optimizeInto(dst, scratch[:len(links)], links, e1, e2)
+	_ = scratch
+	return optimizeInto(dst, links, e1, e2)
 }
 
 // optimizeInto is Optimize solving into caller-owned storage: dst's P
-// slice is resized in place and p (len(links)) is the candidate-vector
-// scratch. core.Braid's default-optimizer path calls this with its
-// RunScratch buffers so an epoch's solve performs no heap allocation.
-func optimizeInto(dst *Allocation, p []float64, links []phy.ModeLink, e1, e2 units.Joule) error {
+// slice is resized in place.
+//
+// The enumeration tracks the winner by candidate index instead of
+// materializing each candidate's fraction vector. This is bit-identical
+// to mixing the full vector: a pure mode's mixture is exactly (T_i, R_i)
+// and a two-mode mix has exactly two nonzero terms, and in IEEE
+// arithmetic 0·x = +0 and y + (+0) = y exactly (all costs are positive),
+// so the zero terms of the generic dot product never change a bit.
+// Candidate order (pure modes first, then pairs i<j) and the strict
+// improvement comparison are preserved, so the winner — and every output
+// bit — matches the generic enumeration. The hub's golden metrics pin
+// this equivalence.
+func optimizeInto(dst *Allocation, links []phy.ModeLink, e1, e2 units.Joule) error {
 	if err := validateInputs(links, e1, e2); err != nil {
 		return err
 	}
@@ -139,24 +150,19 @@ func optimizeInto(dst *Allocation, p []float64, links []phy.ModeLink, e1, e2 uni
 	if cap(dst.P) < len(links) {
 		dst.P = make([]float64, len(links))
 	}
-	dst.Links, dst.P, dst.Bits = links, dst.P[:len(links)], -1
-	best := dst
+	dst.Links, dst.P = links, dst.P[:len(links)]
 
-	consider := func(p []float64) {
-		tx, rx := mixture(links, p)
-		bits := bitsFor(tx, rx, e1, e2)
-		if bits > best.Bits {
-			copy(best.P, p)
-			best.TX, best.RX, best.Bits = tx, rx, bits
-		}
-	}
+	bestI, bestJ := -1, -1
+	bestQ := 0.0
+	var bestTX, bestRX units.JoulesPerBit
+	bestBits := -1.0
 	// Pure modes.
 	for i := range links {
-		for j := range p {
-			p[j] = 0
+		bits := bitsFor(links[i].T, links[i].R, e1, e2)
+		if bits > bestBits {
+			bestI, bestJ = i, -1
+			bestTX, bestRX, bestBits = links[i].T, links[i].R, bits
 		}
-		p[i] = 1
-		consider(p)
 	}
 	// Ratio-matched two-mode mixes: solve
 	// (q·T_i + (1−q)·T_j) / (q·R_i + (1−q)·R_j) = ratio for q ∈ (0,1).
@@ -172,14 +178,52 @@ func optimizeInto(dst *Allocation, p []float64, links []phy.ModeLink, e1, e2 uni
 			if q <= 0 || q >= 1 {
 				continue
 			}
-			for k := range p {
-				p[k] = 0
+			qj := 1 - q
+			var t, r float64
+			t += q * float64(links[i].T)
+			t += qj * float64(links[j].T)
+			r += q * float64(links[i].R)
+			r += qj * float64(links[j].R)
+			tx, rx := units.JoulesPerBit(t), units.JoulesPerBit(r)
+			bits := bitsFor(tx, rx, e1, e2)
+			if bits > bestBits {
+				bestI, bestJ, bestQ = i, j, q
+				bestTX, bestRX, bestBits = tx, rx, bits
 			}
-			p[i], p[j] = q, 1-q
-			consider(p)
 		}
 	}
+	for k := range dst.P {
+		dst.P[k] = 0
+	}
+	if bestJ < 0 {
+		dst.P[bestI] = 1
+	} else {
+		dst.P[bestI], dst.P[bestJ] = bestQ, 1-bestQ
+	}
+	dst.TX, dst.RX, dst.Bits = bestTX, bestRX, bestBits
 	return nil
+}
+
+// scaleRowMax normalizes a matrix row by its largest magnitude. Per-bit
+// costs sit many orders of magnitude below 1, which puts the Eq. (1)
+// proportionality row's entries near the simplex solver's absolute
+// pivot tolerance and lets a near-eps pivot corrupt the well-scaled
+// Σp = 1 row. Both the row (= 0) and the objective are invariant under
+// positive scaling, so SolveEq1 and SolveEq1Batch normalize each by its
+// largest magnitude — through this one function, so the two paths stay
+// bit-identical.
+func scaleRowMax(row []float64) {
+	maxAbs := 0.0
+	for _, v := range row {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 0 {
+		for i := range row {
+			row[i] /= maxAbs
+		}
+	}
 }
 
 // SolveEq1 solves the paper's Eq. 1 exactly via the simplex solver:
@@ -200,26 +244,8 @@ func SolveEq1(links []phy.ModeLink, e1, e2 units.Joule) (*Allocation, error) {
 		aRow[i] = float64(l.T) - ratio*float64(l.R)
 		ones[i] = 1
 	}
-	// Per-bit costs sit many orders of magnitude below 1, which puts the
-	// proportionality row's entries near the simplex solver's absolute
-	// pivot tolerance and lets a near-eps pivot corrupt the well-scaled
-	// Σp = 1 row. Both the row (= 0) and the objective are invariant
-	// under positive scaling, so normalize each by its largest magnitude.
-	scaleRow := func(row []float64) {
-		maxAbs := 0.0
-		for _, v := range row {
-			if a := math.Abs(v); a > maxAbs {
-				maxAbs = a
-			}
-		}
-		if maxAbs > 0 {
-			for i := range row {
-				row[i] /= maxAbs
-			}
-		}
-	}
-	scaleRow(aRow)
-	scaleRow(c)
+	scaleRowMax(aRow)
+	scaleRowMax(c)
 	sol, err := lp.Solve(&lp.Problem{C: c, A: [][]float64{ones, aRow}, B: []float64{1, 0}})
 	if err != nil {
 		return nil, err

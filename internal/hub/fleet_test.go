@@ -158,6 +158,40 @@ func TestFleetRaceSmoke(t *testing.T) {
 	}
 }
 
+// BenchmarkFleetHour is the batched-solver headline workload: 8 hubs ×
+// 8 members × a simulated hour, every member on a random-waypoint walk
+// so distances drift each round — consecutive plans stay structurally
+// close, exactly the regime the warm-started columnar solver targets.
+// make bench diffs this against the committed baseline.
+func BenchmarkFleetHour(b *testing.B) {
+	build := func(shard int, stream *rng.Stream) (*Hub, error) {
+		h := New(dev(b, "iPhone 6S"), nil)
+		for j := 0; j < 8; j++ {
+			m := Member{
+				Device:   dev(b, "Apple Watch"),
+				Distance: units.Meter(0.3 + 1.5*stream.Float64()),
+				Load:     units.BitRate(1000 + stream.Intn(50000)),
+				Walk:     sim.NewRandomWaypoint(0.2, 2.0, 0.4, 20, stream.Split()),
+			}
+			if err := h.Add(m); err != nil {
+				return nil, err
+			}
+		}
+		return h, nil
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			f := &Fleet{Shards: 8, Workers: workers, Seed: 42, Build: build}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Run(3600, 12); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFleet measures the fleet engine end to end: 8 shards × 4
 // members × a simulated hour. make bench diffs this against the
 // committed baseline.

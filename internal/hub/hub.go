@@ -112,6 +112,7 @@ type Hub struct {
 
 	device  energy.Device
 	model   *phy.Model
+	view    *linkcache.View
 	members []Member
 }
 
@@ -125,7 +126,7 @@ func New(device energy.Device, m *phy.Model) *Hub {
 	if m == nil {
 		m = phy.NewModel()
 	}
-	return &Hub{device: device, model: m}
+	return &Hub{device: device, model: m, view: linkcache.NewView(m)}
 }
 
 // Add registers a member. It returns an error if no link mode reaches
@@ -134,7 +135,7 @@ func (h *Hub) Add(m Member) error {
 	if m.Load <= 0 {
 		return fmt.Errorf("hub: member %s has non-positive load", m.Device.Name)
 	}
-	if len(linkcache.Characterize(h.model, m.Distance)) == 0 {
+	if len(h.view.Characterize(m.Distance)) == 0 {
 		return fmt.Errorf("hub: member %s at %v m is out of range", m.Device.Name, float64(m.Distance))
 	}
 	h.members = append(h.members, m)
@@ -159,8 +160,9 @@ type MemberResult struct {
 	// MemberDrain and HubDrain are the energies each side spent on this
 	// member's traffic.
 	MemberDrain, HubDrain units.Joule
-	// ModeBits attributes the member's bits to modes.
-	ModeBits map[phy.Mode]float64
+	// ModeBits attributes the member's bits to modes, indexed by
+	// phy.Mode.
+	ModeBits [phy.NumModes]float64
 	// Starved reports that the member's battery died before the horizon.
 	Starved bool
 	// Quarantined reports the member was removed from the round-robin;
@@ -240,15 +242,20 @@ type memberScratch struct {
 	outage           bool
 	skipQuarantined  bool
 	skipStarved      bool
+	active           bool
+	dist             units.Meter
 	txScale, rxScale float64
 }
 
 // runScratch is the per-Run working set recycled through a sync.Pool so
 // that repeated runs — a fleet shard simulating thousands of hub
-// rounds — stop churning braids, schedule buffers, and ModeBits maps.
+// rounds — stop churning braids, schedule buffers, and result slots.
+// batch is the round's shared column arena: one reset per round feeds
+// the batched characterization instead of M per-member cache lookups.
 type runScratch struct {
 	members []memberScratch
 	strikes []int
+	batch   core.BatchScratch
 }
 
 // scratchPool recycles runScratch values across Run calls.
@@ -305,7 +312,7 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 		HubDiedRound: -1,
 	}
 	for i, m := range h.members {
-		res.Members[i] = MemberResult{Member: m, ModeBits: make(map[phy.Mode]float64)}
+		res.Members[i] = MemberResult{Member: m}
 	}
 	scr := acquireScratch(len(h.members))
 	defer scratchPool.Put(scr)
@@ -330,13 +337,64 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 		now     units.Second
 		hubSnap energy.Battery
 	)
-	plan := func(i int) { h.planMember(i, scr, res, memberBatts, &hubSnap, now, slice) }
+	plan := func(i int) { h.planMember(i, scr, memberBatts, &hubSnap, slice) }
 
 	for round := 0; round < rounds && !hubBatt.Empty(); round++ {
 		now = units.Second(round) * slice
 		hubSnap = *hubBatt
 		if rec != nil {
 			rec.HubRounds.Add(1)
+			rec.BatchRounds.Add(1)
+		}
+
+		// Phase 0: advance each member's walk and fault state
+		// sequentially (each injector is advanced exactly once per
+		// round, same as the old in-plan advancement), decide round
+		// eligibility, and collect the eligible distances into the
+		// round arena.
+		scr.batch.Reset(len(h.members))
+		nb := 0
+		for i := range h.members {
+			ms := &scr.members[i]
+			mr := &res.Members[i]
+			m := &h.members[i]
+			ms.err = nil
+			ms.outage = false
+			ms.active = false
+			ms.braid.Links = nil
+			ms.skipQuarantined = mr.Quarantined
+			ms.skipStarved = !mr.Quarantined && memberBatts[i].Empty()
+			ms.txScale, ms.rxScale = 1, 1
+			if ms.skipQuarantined || ms.skipStarved {
+				continue
+			}
+			d := m.Distance
+			if m.Walk != nil {
+				d = m.Walk.DistanceAt(now)
+			}
+			if m.Faults != nil {
+				var env faults.Env
+				env.Reset(now, phy.ModeActive, units.Rate1M, 0)
+				m.Faults.Impair(&env)
+				if env.CarrierLost {
+					ms.outage = true
+					continue
+				}
+				ms.txScale, ms.rxScale = env.TXDrain, env.RXDrain
+			}
+			ms.dist = d
+			ms.active = true
+			scr.batch.Dists[nb] = d
+			scr.batch.Idx[nb] = i
+			nb++
+		}
+		// Batched link characterization: one striped pass fills every
+		// eligible member's canonical link slice (the same shared
+		// slices linkcache.Characterize returns, so the braids'
+		// allocation memos keep their slice-identity semantics).
+		h.view.CharacterizeBatch(h.Workers, scr.batch.Dists[:nb], scr.batch.Links[:nb])
+		for r := 0; r < nb; r++ {
+			scr.members[scr.batch.Idx[r]].braid.Links = scr.batch.Links[r]
 		}
 
 		// Phase 1: plan all members against the immutable snapshot.
@@ -440,40 +498,21 @@ func (h *Hub) Run(horizon units.Second, rounds int) (*Result, error) {
 	return res, nil
 }
 
-// planMember runs one member's plan phase: advance its walk and fault
-// state for the round, then solve and execute its braid against a copy
-// of its battery and the hub's round-start snapshot. It writes only to
-// the member's scratch slot (and reads only member-owned state), which
-// is what makes the phase safe and deterministic under par.For at any
-// worker count.
-func (h *Hub) planMember(i int, scr *runScratch, res *Result, memberBatts []*energy.Battery,
-	hubSnap *energy.Battery, now, slice units.Second) {
+// planMember runs one member's plan phase: solve and execute its braid
+// — links preset by the round's batched characterization — against a
+// copy of its battery and the hub's round-start snapshot. Eligibility,
+// walks, and fault state were already decided in the sequential
+// phase 0, so this writes only to the member's scratch slot (and reads
+// only member-owned state), which is what makes the phase safe and
+// deterministic under par.For at any worker count.
+func (h *Hub) planMember(i int, scr *runScratch, memberBatts []*energy.Battery,
+	hubSnap *energy.Battery, slice units.Second) {
 	ms := &scr.members[i]
-	mr := &res.Members[i]
 	m := &h.members[i]
-	ms.err = nil
-	ms.outage = false
-	ms.skipQuarantined = mr.Quarantined
-	ms.skipStarved = !mr.Quarantined && memberBatts[i].Empty()
-	ms.txScale, ms.rxScale = 1, 1
-	if ms.skipQuarantined || ms.skipStarved {
+	if !ms.active {
 		return
 	}
-	d := m.Distance
-	if m.Walk != nil {
-		d = m.Walk.DistanceAt(now)
-	}
-	if m.Faults != nil {
-		var env faults.Env
-		env.Reset(now, phy.ModeActive, units.Rate1M, 0)
-		m.Faults.Impair(&env)
-		if env.CarrierLost {
-			ms.outage = true
-			return
-		}
-		ms.txScale, ms.rxScale = env.TXDrain, env.RXDrain
-	}
-	ms.braid.Distance = d
+	ms.braid.Distance = ms.dist
 	ms.braid.MaxBits = float64(m.Load) * float64(slice)
 	ms.planB1 = *memberBatts[i]
 	ms.planB2 = *hubSnap

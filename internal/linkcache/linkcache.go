@@ -30,10 +30,12 @@
 package linkcache
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
+	"braidio/internal/par"
 	"braidio/internal/phy"
 	"braidio/internal/units"
 )
@@ -223,6 +225,109 @@ func BER(m *phy.Model, mode phy.Mode, r units.BitRate, d units.Meter) float64 {
 	sh.bers[k] = v
 	sh.mu.Unlock()
 	return v
+}
+
+// maxViewEntries bounds a View's private distance table. A view that
+// overflows (continuous-mobility sweeps) evicts one resident victim per
+// admit, exactly like the global shards; evicted distances re-resolve
+// through the global cache, so the canonical slice per (model, distance)
+// never changes identity while it stays resident there.
+const maxViewEntries = 4096
+
+// View is a pinned-model handle over the cache. The global tables key
+// every lookup by the full phy.Model value — hashing a ~200-byte struct
+// per call, which profiles as the single hottest item in a hub round. A
+// View fixes the model once and keys its private table by distance
+// alone (one float64 hash), delegating misses to the global cache so
+// the slices it returns are the same canonical shared slices
+// Characterize returns: callers that compare slice identity (the braid
+// allocation memo) see exactly the behavior of the global path.
+//
+// The pinned model must not be mutated while the view is alive —
+// mutation would key new entries in the global cache while the view
+// kept serving the old model's slices. Engines pin calibrated models
+// that are immutable by construction (the same contract the global
+// cache's by-value keys rely on).
+//
+// A View is safe for concurrent use.
+type View struct {
+	model *phy.Model
+	mu    sync.RWMutex
+	links map[units.Meter][]phy.ModeLink
+}
+
+// NewView pins a model and returns its view.
+func NewView(m *phy.Model) *View {
+	return &View{model: m, links: make(map[units.Meter][]phy.ModeLink)}
+}
+
+// Model returns the pinned model.
+func (v *View) Model() *phy.Model { return v.model }
+
+// Characterize returns Characterize(model, d) through the distance-keyed
+// fast path. With the global cache disabled it characterizes directly
+// and caches nothing, matching the global path bit for bit and
+// entry for entry.
+func (v *View) Characterize(d units.Meter) []phy.ModeLink {
+	if disabled.Load() {
+		return v.model.Characterize(d)
+	}
+	v.mu.RLock()
+	ls, ok := v.links[d]
+	v.mu.RUnlock()
+	if ok {
+		return ls
+	}
+	ls = Characterize(v.model, d) // canonical shared slice
+	v.mu.Lock()
+	if _, ok := v.links[d]; !ok && len(v.links) >= maxViewEntries {
+		evictOne(v.links)
+	}
+	v.links[d] = ls
+	v.mu.Unlock()
+	return ls
+}
+
+// batchParThreshold is the batch size below which CharacterizeBatch
+// stays sequential: striping a handful of map hits over the pool costs
+// more in goroutine fan-out than it saves.
+const batchParThreshold = 64
+
+// CharacterizeBatch fills out[i] with the canonical characterization at
+// dists[i] for a whole round, striping the lookups over the worker pool
+// for large batches (each index writes only its own slot, so results
+// are identical at any worker count). This is the batched link
+// characterization the hub's plan phase and the serve daemon's epoch
+// planner feed their solve kernels from.
+func (v *View) CharacterizeBatch(workers int, dists []units.Meter, out [][]phy.ModeLink) {
+	if len(dists) != len(out) {
+		panic(fmt.Sprintf("linkcache: %d distances but %d output slots", len(dists), len(out)))
+	}
+	if len(dists) >= batchParThreshold && workers != 1 {
+		par.For(workers, len(dists), func(i int) { out[i] = v.Characterize(dists[i]) })
+		return
+	}
+	for i, d := range dists {
+		out[i] = v.Characterize(d)
+	}
+}
+
+// CharacterizeColumns fills member k's row of cols for every k with the
+// structure-of-arrays characterization at dists[k] — the flat-column
+// twin of CharacterizeBatch for kernels that never need []ModeLink
+// slices. Column rows are computed directly (they carry the SNR column,
+// which the AoS cache does not); values are bit-identical to
+// Characterize's because both run the same per-mode computations.
+func (v *View) CharacterizeColumns(workers int, dists []units.Meter, cols *phy.LinkColumns) {
+	cols.Reset(len(dists))
+	fill := func(i int) { v.model.CharacterizeColumns(cols, i, dists[i]) }
+	if len(dists) >= batchParThreshold && workers != 1 {
+		par.For(workers, len(dists), fill)
+		return
+	}
+	for i := range dists {
+		fill(i)
+	}
 }
 
 // Stats is a snapshot of the cache counters.

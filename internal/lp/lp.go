@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Problem is a linear program in standard equality form.
@@ -36,6 +37,11 @@ type Solution struct {
 	X []float64
 	// Objective is cᵀx at the optimum.
 	Objective float64
+	// Basis is the final simplex basis: for each constraint row, the
+	// index of the variable basic in that row, or -1 for a redundant row
+	// zeroed in phase 1. Feed it to SolveWarm to warm-start a related
+	// problem (the same structure with drifted coefficients).
+	Basis []int
 }
 
 // Errors returned by Solve.
@@ -243,7 +249,12 @@ func Solve(p *Problem) (*Solution, error) {
 	if err := t.iterate(); err != nil {
 		return nil, err
 	}
-
+	if sol, err := extract(p, t.basis); err == nil {
+		return sol, nil
+	}
+	// Numerically singular basis (should not happen for a basis simplex
+	// just pivoted through): fall back to the tableau's accumulated
+	// values.
 	x := make([]float64, n)
 	for i, bi := range t.basis {
 		if bi >= 0 && bi < n && t.b[i] > eps {
@@ -254,5 +265,170 @@ func Solve(p *Problem) (*Solution, error) {
 	for j := 0; j < n; j++ {
 		obj += p.C[j] * x[j]
 	}
-	return &Solution{X: x, Objective: obj}, nil
+	return &Solution{X: x, Objective: obj, Basis: append([]int(nil), t.basis...)}, nil
+}
+
+// extract reconstructs the solution a basis determines directly from the
+// original problem data: it collects the basic columns (ascending) and
+// the active rows (rows not zeroed as redundant, ascending), solves the
+// square system A_B·x_B = b_B by Gaussian elimination with partial
+// pivoting, and prices the objective off the original costs. The
+// arithmetic depends only on (p, the basis *set*) — never on the pivot
+// path that reached the basis — so a cold two-phase solve and a
+// warm-started solve that finish in the same basis return bit-identical
+// solutions. That is the keystone of the SolveWarm differential
+// contract.
+func extract(p *Problem, basis []int) (*Solution, error) {
+	n := len(p.C)
+	var rows, cols []int
+	for i, bi := range basis {
+		if bi < 0 {
+			continue // redundant zeroed row
+		}
+		if bi >= n {
+			return nil, errors.New("lp: artificial variable left in basis")
+		}
+		rows = append(rows, i)
+		cols = append(cols, bi)
+	}
+	sort.Ints(cols)
+	for i := 1; i < len(cols); i++ {
+		if cols[i] == cols[i-1] {
+			return nil, errors.New("lp: duplicate basic column")
+		}
+	}
+	k := len(rows)
+	// Augmented system [A_B | b] over the original data, rows and basic
+	// columns both in ascending order.
+	m := make([][]float64, k)
+	for r, ri := range rows {
+		m[r] = make([]float64, k+1)
+		for c, cj := range cols {
+			m[r][c] = p.A[ri][cj]
+		}
+		m[r][k] = p.B[ri]
+	}
+	// Gaussian elimination with partial pivoting.
+	for c := 0; c < k; c++ {
+		piv := c
+		for r := c + 1; r < k; r++ {
+			if math.Abs(m[r][c]) > math.Abs(m[piv][c]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][c]) <= 1e-300 {
+			return nil, errors.New("lp: singular basis")
+		}
+		m[c], m[piv] = m[piv], m[c]
+		for r := c + 1; r < k; r++ {
+			f := m[r][c] / m[c][c]
+			if f == 0 {
+				continue
+			}
+			for j := c; j <= k; j++ {
+				m[r][j] -= f * m[c][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for c := k - 1; c >= 0; c-- {
+		v := m[c][k]
+		for j := c + 1; j < k; j++ {
+			v -= m[c][j] * x[cols[j]]
+		}
+		v /= m[c][c]
+		if v > eps {
+			x[cols[c]] = v
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * x[j]
+	}
+	return &Solution{X: x, Objective: obj, Basis: append([]int(nil), basis...)}, nil
+}
+
+// validBasis reports whether a caller-supplied warm basis is structurally
+// usable: one entry per row, every entry a distinct original variable.
+// Bases carrying redundant-row markers (-1) are rejected — the warm path
+// has no phase 1 to re-derive which rows are redundant for the *new*
+// coefficients, so those problems take the cold path.
+func validBasis(basis []int, m, n int) bool {
+	if len(basis) != m || m > n {
+		return false
+	}
+	for i, bi := range basis {
+		if bi < 0 || bi >= n {
+			return false
+		}
+		for j := 0; j < i; j++ {
+			if basis[j] == bi {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SolveWarm solves the linear program starting from the final basis of a
+// previous, related solve (Solution.Basis): it canonicalizes the basis
+// against the new coefficients and runs phase 2 directly, skipping
+// phase 1's artificial variables entirely. When the supplied basis is
+// structurally invalid, numerically singular for the new A, or no longer
+// primal feasible for the new b (the inputs drifted too far), SolveWarm
+// falls back to a cold Solve — warm reports which path produced the
+// solution, so callers can count warm starts against cold fallbacks.
+//
+// Warm and cold solves that finish in the same basis return bit-identical
+// solutions: both extract the final answer from the original problem data
+// and the basis set alone (see extract).
+func SolveWarm(p *Problem, basis []int) (sol *Solution, warm bool, err error) {
+	if err := p.Validate(); err != nil {
+		return nil, false, err
+	}
+	n := len(p.C)
+	m := len(p.B)
+	cold := func() (*Solution, bool, error) {
+		s, err := Solve(p)
+		return s, false, err
+	}
+	if !validBasis(basis, m, n) {
+		return cold()
+	}
+	// Rebuild the tableau from the new coefficients and canonicalize the
+	// basic columns into unit vectors row by row.
+	t := &tableau{
+		a:     make([][]float64, m),
+		b:     make([]float64, m),
+		basis: append([]int(nil), basis...),
+		m:     m,
+		n:     n,
+	}
+	for i := range t.a {
+		t.a[i] = append([]float64(nil), p.A[i]...)
+		t.b[i] = p.B[i]
+	}
+	for i := 0; i < m; i++ {
+		if math.Abs(t.a[i][t.basis[i]]) <= eps {
+			return cold() // basis singular for the new coefficients
+		}
+		t.pivot(i, t.basis[i])
+	}
+	for i := 0; i < m; i++ {
+		if t.b[i] < 0 {
+			return cold() // basis no longer primal feasible
+		}
+	}
+	t.c = append([]float64(nil), p.C...)
+	if err := t.iterate(); err != nil {
+		// A genuinely unbounded problem is unbounded from any feasible
+		// start, so let the cold path deliver the verdict (or, for a
+		// near-degenerate start, a clean answer).
+		return cold()
+	}
+	s, err := extract(p, t.basis)
+	if err != nil {
+		return cold()
+	}
+	return s, true, nil
 }

@@ -1,0 +1,309 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// bitsEqual reports exact bit equality of two float slices.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// xorshift is the deterministic generator the randomized corpora use.
+type xorshift uint64
+
+func (s *xorshift) next() float64 { // uniform in [0, 1)
+	x := uint64(*s)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = xorshift(x)
+	return float64(x>>11) / (1 << 53)
+}
+
+// eq1Instance builds one Eq. (1)-shaped problem the way core.SolveEq1
+// does: minimize Σ p_i (T_i + R_i) over Σ p_i = 1 and the
+// power-proportionality row Σ p_i (T_i − ratio·R_i) = 0, both the
+// objective and the proportionality row normalized by their largest
+// magnitude. Costs span decades (active radio vs backscatter), so the
+// raw rows are near-degenerate mixed-scale — exactly the regime the
+// solver's scaling and drive-out hardening exist for.
+func eq1Instance(T, R []float64, ratio float64, scale bool) *Problem {
+	n := len(T)
+	c := make([]float64, n)
+	aRow := make([]float64, n)
+	ones := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c[i] = T[i] + R[i]
+		aRow[i] = T[i] - ratio*R[i]
+		ones[i] = 1
+	}
+	norm := func(row []float64) {
+		maxAbs := 0.0
+		for _, v := range row {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs > 0 {
+			for i := range row {
+				row[i] /= maxAbs
+			}
+		}
+	}
+	if scale {
+		norm(aRow)
+		norm(c)
+	}
+	return &Problem{C: c, A: [][]float64{ones, aRow}, B: []float64{1, 0}}
+}
+
+// TestSolveWarmDifferentialEq1 is the warm-start differential contract
+// on 500 randomized Eq. (1) instances: per instance, a drifting battery
+// ratio produces a chain of related problems; each is solved cold and
+// warm (seeded with the previous problem's basis), and the two must
+// agree bit for bit — X, objective, and basis — whether the warm
+// attempt succeeded or fell back. Half the corpus skips the row
+// normalization, leaving raw per-bit costs (1e-9..1e-3 J/bit) so the
+// proportionality row sits near the pivot tolerance.
+func TestSolveWarmDifferentialEq1(t *testing.T) {
+	warmHits, coldFalls := 0, 0
+	for trial := 0; trial < 500; trial++ {
+		rng := xorshift(uint64(trial)*0x9e3779b97f4a7c15 + 1)
+		n := 2 + int(rng.next()*2) // 2–3 modes
+		T := make([]float64, n)
+		R := make([]float64, n)
+		for i := 0; i < n; i++ {
+			// Log-uniform per-bit costs over six decades.
+			T[i] = math.Pow(10, -9+6*rng.next())
+			R[i] = math.Pow(10, -9+6*rng.next())
+		}
+		scale := trial%2 == 0
+		ratio := math.Pow(10, -3+6*rng.next())
+		var prevBasis []int
+		for step := 0; step < 4; step++ {
+			p := eq1Instance(T, R, ratio, scale)
+			want, wantErr := Solve(p)
+			got, warm, gotErr := SolveWarm(p, prevBasis)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("trial %d step %d: cold err %v, warm-path err %v", trial, step, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				prevBasis = nil
+				ratio *= math.Pow(10, 0.5*(rng.next()-0.5))
+				continue
+			}
+			if warm {
+				warmHits++
+			} else if prevBasis != nil {
+				coldFalls++
+			}
+			if !bitsEqual(got.X, want.X) {
+				t.Fatalf("trial %d step %d (warm=%v): X=%v, cold X=%v", trial, step, warm, got.X, want.X)
+			}
+			if math.Float64bits(got.Objective) != math.Float64bits(want.Objective) {
+				t.Fatalf("trial %d step %d (warm=%v): obj=%v, cold obj=%v", trial, step, warm, got.Objective, want.Objective)
+			}
+			prevBasis = got.Basis
+			// Drift the ratio a fraction of a decade — the serve/hub
+			// regime where consecutive solves stay structurally close.
+			ratio *= math.Pow(10, 0.5*(rng.next()-0.5))
+		}
+	}
+	if warmHits == 0 {
+		t.Fatal("corpus never exercised the warm path")
+	}
+	t.Logf("warm starts: %d, cold fallbacks after drift: %d", warmHits, coldFalls)
+}
+
+// TestSolveWarmSelfBasis re-solves a problem from its own final basis:
+// the warm path must succeed and reproduce the cold solution bit for
+// bit (shared canonical extraction).
+func TestSolveWarmSelfBasis(t *testing.T) {
+	p := eq1Instance(
+		[]float64{2.4e-7, 8.6e-8, 1.3e-9},
+		[]float64{2.5e-7, 1.1e-9, 3.0e-7},
+		3.7, true)
+	want, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, warm, err := SolveWarm(p, want.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm {
+		t.Fatal("self-basis warm start fell back cold")
+	}
+	if !bitsEqual(got.X, want.X) || got.Objective != want.Objective {
+		t.Fatalf("warm=%v obj=%v, cold=%v obj=%v", got.X, got.Objective, want.X, want.Objective)
+	}
+}
+
+// TestSolveWarmStaleBasisFallback feeds SolveWarm structurally invalid
+// and numerically stale bases: every case must fall back to the cold
+// path cleanly (warm=false) and return the cold answer bit for bit.
+func TestSolveWarmStaleBasisFallback(t *testing.T) {
+	p := eq1Instance(
+		[]float64{1.0e-6, 2.0e-7, 5.0e-9},
+		[]float64{1.1e-6, 4.0e-9, 6.0e-7},
+		1.0, true)
+	want, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]int{
+		"nil":             nil,
+		"short":           {0},
+		"long":            {0, 1, 2},
+		"duplicate":       {1, 1},
+		"out of range":    {0, 7},
+		"negative marker": {0, -1},
+	}
+	for name, basis := range cases {
+		got, warm, err := SolveWarm(p, basis)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if warm {
+			t.Errorf("%s: reported warm for an unusable basis", name)
+		}
+		if !bitsEqual(got.X, want.X) || got.Objective != want.Objective {
+			t.Errorf("%s: fallback diverged from cold solve", name)
+		}
+	}
+
+	// A basis that is valid structurally but primal infeasible for the
+	// new right-hand side: x0 basic in row 0 of {x0 - x1 = b}. With
+	// b = (1, …) the basis is feasible; flip the sign and the
+	// canonicalized b goes negative, forcing the cold fallback.
+	p2 := &Problem{
+		C: []float64{1, 2},
+		A: [][]float64{{1, -1}},
+		B: []float64{-1},
+	}
+	want2, err := Solve(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, warm2, err := SolveWarm(p2, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm2 {
+		t.Error("primal-infeasible basis reported warm")
+	}
+	if !bitsEqual(got2.X, want2.X) {
+		t.Errorf("infeasible-basis fallback X=%v, want %v", got2.X, want2.X)
+	}
+
+	// An infeasible problem stays infeasible through the warm path.
+	bad := &Problem{C: []float64{1, 1}, A: [][]float64{{1, 1}, {1, 1}}, B: []float64{1, 2}}
+	if _, _, err := SolveWarm(bad, []int{0, 1}); err != ErrInfeasible {
+		t.Errorf("infeasible problem: err=%v, want ErrInfeasible", err)
+	}
+}
+
+// TestSolveWarmRedundantRowsCorpus replays the redundant-row fuzz
+// corpus through the warm path: problems whose cold basis carries the
+// −1 redundant-row marker must be rejected by basis validation and fall
+// back cold, bit-identically; the unaugmented base problems must
+// warm-start from their own bases.
+func TestSolveWarmRedundantRowsCorpus(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := xorshift(uint64(trial)*0x2545f4914f6cdd1d + 7)
+		n := 2 + int(rng.next()*3) // 2–4 variables
+		m := 1 + int(rng.next()*2) // 1–2 independent rows
+		if m >= n {
+			m = n - 1
+		}
+		xstar := make([]float64, n)
+		for j := range xstar {
+			if rng.next() < 0.3 {
+				xstar[j] = 0
+			} else {
+				xstar[j] = rng.next() * 5
+			}
+		}
+		base := &Problem{C: make([]float64, n)}
+		for j := range base.C {
+			base.C[j] = rng.next()
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			bi := 0.0
+			for j := range row {
+				row[j] = 2*rng.next() - 1
+				bi += row[j] * xstar[j]
+			}
+			base.A = append(base.A, row)
+			base.B = append(base.B, bi)
+		}
+		baseSol, err := Solve(base)
+		if err != nil {
+			continue
+		}
+		warmBase, warm, err := SolveWarm(base, baseSol.Basis)
+		if err != nil {
+			t.Fatalf("trial %d: base warm solve: %v", trial, err)
+		}
+		if !bitsEqual(warmBase.X, baseSol.X) {
+			t.Fatalf("trial %d: base warm X diverged (warm=%v)", trial, warm)
+		}
+
+		// Augment with a duplicate, a near-tolerance scaled copy, and the
+		// row sum — the cold basis then contains a −1 marker, which the
+		// warm path must refuse and route cold.
+		aug := &Problem{C: base.C, A: append([][]float64{}, base.A...), B: append([]float64{}, base.B...)}
+		addScaled := func(src int, scale float64) {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = scale * base.A[src][j]
+			}
+			aug.A = append(aug.A, row)
+			aug.B = append(aug.B, scale*base.B[src])
+		}
+		addScaled(0, 1)
+		addScaled(0, 3e-9)
+		sum := make([]float64, n)
+		sb := 0.0
+		for i := range base.A {
+			for j := range sum {
+				sum[j] += base.A[i][j]
+			}
+			sb += base.B[i]
+		}
+		aug.A = append(aug.A, sum)
+		aug.B = append(aug.B, sb)
+
+		augSol, err := Solve(aug)
+		if err != nil {
+			t.Fatalf("trial %d: augmented cold solve: %v", trial, err)
+		}
+		hasMarker := false
+		for _, bi := range augSol.Basis {
+			if bi < 0 {
+				hasMarker = true
+			}
+		}
+		got, warm, err := SolveWarm(aug, augSol.Basis)
+		if err != nil {
+			t.Fatalf("trial %d: augmented warm solve: %v", trial, err)
+		}
+		if hasMarker && warm {
+			t.Fatalf("trial %d: redundant-row basis accepted warm", trial)
+		}
+		if !bitsEqual(got.X, augSol.X) || got.Objective != augSol.Objective {
+			t.Fatalf("trial %d: augmented warm diverged from cold", trial)
+		}
+	}
+}

@@ -140,8 +140,13 @@ func (h *Histogram) init(bounds []float64, sumScale float64) {
 	h.sum.scale = sumScale
 }
 
-// Observe records one value.
+// Observe records one value. Observing into a histogram that was never
+// initialized (a zero Recorder built without NewRecorder) is a no-op —
+// counters on such recorders work, so the histograms must not panic.
 func (h *Histogram) Observe(v float64) {
+	if len(h.counts) == 0 {
+		return
+	}
 	// Binary search for the first bound >= v; the slice is short
 	// (tens of buckets), so this stays a handful of compares.
 	lo, hi := 0, len(h.bounds)
@@ -195,6 +200,15 @@ type Recorder struct {
 	// LPSolves counts epochs whose allocation came from an actual
 	// optimizer solve.
 	LPSolves Counter
+	// LPWarmStarts counts simplex solves that succeeded starting from a
+	// caller-supplied basis (the previous round's) without a phase-1 pass.
+	LPWarmStarts Counter
+	// LPColdFallbacks counts warm-start attempts that fell back to a
+	// cold two-phase solve (stale, infeasible, or degenerate basis).
+	LPColdFallbacks Counter
+	// BatchRounds counts planning rounds solved through the batched
+	// columnar path (one per hub round or serve epoch, not per member).
+	BatchRounds Counter
 	// AllocReuses counts epochs served from the ratio-keyed memo.
 	AllocReuses Counter
 	// Switches counts mode transitions (braid schedule transitions and

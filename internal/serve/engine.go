@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sort"
 	"sync"
+	"time"
 
 	"braidio/internal/core"
 	"braidio/internal/linkcache"
@@ -151,6 +153,7 @@ type EpochResult struct {
 type Engine struct {
 	cfg   Config
 	model *phy.Model
+	view  *linkcache.View
 
 	queueMu  sync.Mutex
 	queue    []op
@@ -163,11 +166,26 @@ type Engine struct {
 	epoch     uint64
 
 	epochMu sync.Mutex // serializes RunEpoch
+	// batch is the epoch's shared column arena (guarded by epochMu):
+	// one reset per epoch replaces the old per-solve scratch pool.
+	batch core.BatchScratch
 
-	scratch sync.Pool // per-solve []float64 workspace
+	// Plan-phase latency, guarded by mu: wall time of each planning
+	// epoch's characterize+solve+build phase, for /v1/stats percentiles.
+	// Only epochs that planned at least one member are recorded.
+	// Strictly observational — never touches EpochResult or the digest.
+	planLat   []float64 // ns ring, planRingCap entries
+	planIdx   int
+	planCount int
+	planFirst float64 // ns, first planning epoch (the cold bulk plan)
+	planLast  float64 // ns, most recent planning epoch
 
 	journal *Journal // nil when capture is off
 }
+
+// planRingCap bounds the plan-latency ring Stats percentiles are
+// computed over.
+const planRingCap = 256
 
 // NewEngine builds an engine from a config, applying defaults.
 func NewEngine(cfg Config) *Engine {
@@ -180,6 +198,7 @@ func NewEngine(cfg Config) *Engine {
 	return &Engine{
 		cfg:       cfg,
 		model:     m,
+		view:      linkcache.NewView(m),
 		queue:     make([]op, 0, cfg.QueueCap),
 		hubEnergy: cfg.HubEnergy,
 		members:   make(map[string]*member),
@@ -310,6 +329,25 @@ type Stats struct {
 	// JournalError carries the attached journal's sticky error, empty
 	// when healthy or no journal is attached.
 	JournalError string `json:"journal_error,omitempty"`
+	// PlanP50Millis and PlanP99Millis are percentiles of the per-epoch
+	// plan-phase wall time (characterize + batch solve + plan build)
+	// over the most recent planning epochs; FirstPlanMillis is the
+	// first planning epoch — typically the cold bulk plan of the whole
+	// membership — and LastPlanMillis the most recent (warm) one. Zero
+	// until an epoch has planned at least one member.
+	PlanP50Millis   float64 `json:"plan_p50_ms"`
+	PlanP99Millis   float64 `json:"plan_p99_ms"`
+	FirstPlanMillis float64 `json:"first_plan_ms"`
+	LastPlanMillis  float64 `json:"last_plan_ms"`
+}
+
+// planQuantile returns the q-quantile of sorted latencies in ns.
+func planQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
 }
 
 // Stats reports membership, queue depth, and the last completed epoch.
@@ -327,7 +365,7 @@ func (e *Engine) Stats() Stats {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return Stats{
+	s := Stats{
 		Members:      len(e.order),
 		QueueDepth:   depth,
 		QueueCap:     e.cfg.QueueCap,
@@ -336,6 +374,16 @@ func (e *Engine) Stats() Stats {
 		Admitted:     admitted,
 		JournalError: jerr,
 	}
+	if e.planCount > 0 {
+		lat := append([]float64(nil), e.planLat...)
+		sort.Float64s(lat)
+		const ms = 1e6
+		s.PlanP50Millis = planQuantile(lat, 0.50) / ms
+		s.PlanP99Millis = planQuantile(lat, 0.99) / ms
+		s.FirstPlanMillis = e.planFirst / ms
+		s.LastPlanMillis = e.planLast / ms
+	}
+	return s
 }
 
 // dirtyAgainst reports whether fresh inputs have drifted out of
@@ -401,12 +449,28 @@ func (e *Engine) RunEpoch() (EpochResult, error) {
 	total := len(e.order)
 	e.mu.Unlock()
 
-	// Solve outside the state lock: reads touch only the snapshots,
-	// writes only index-owned slots — the par determinism contract.
-	par.For(e.cfg.Workers, len(jobs), func(i int) {
-		j := &jobs[i]
-		j.plan, j.err = e.solve(epoch, hubE, j.energy, j.distance)
-	})
+	// Batch plan phase, outside the state lock: one arena reset, one
+	// striped columnar characterization, one striped offload kernel,
+	// then per-job plan construction into index-owned slots — the par
+	// determinism contract at every stage, so the epoch's plan set is
+	// bit-identical at any worker count. The wall clock around it feeds
+	// only the latency metrics, never the results.
+	var planStart time.Time
+	if len(jobs) > 0 {
+		planStart = time.Now()
+		e.batch.Reset(len(jobs))
+		for i := range jobs {
+			e.batch.Dists[i] = jobs[i].distance
+			e.batch.E1[i] = hubE
+			e.batch.E2[i] = jobs[i].energy
+		}
+		e.view.CharacterizeColumns(e.cfg.Workers, e.batch.Dists, &e.batch.Cols)
+		core.OptimizeBatch(&e.batch, e.cfg.Workers)
+		par.For(e.cfg.Workers, len(jobs), func(i int) { e.buildPlan(&jobs[i], i, epoch, hubE) })
+		if e.cfg.Rec != nil {
+			e.cfg.Rec.BatchRounds.Add(1)
+		}
+	}
 
 	// Commit in registration order.
 	e.mu.Lock()
@@ -428,6 +492,29 @@ func (e *Engine) RunEpoch() (EpochResult, error) {
 		planned++
 	}
 	e.mu.Unlock()
+
+	if len(jobs) > 0 {
+		ns := float64(time.Since(planStart))
+		if e.cfg.Rec != nil {
+			e.cfg.Rec.LPSolveLatency.Observe(ns)
+		}
+		e.mu.Lock()
+		if e.planLat == nil {
+			e.planLat = make([]float64, 0, planRingCap)
+		}
+		if len(e.planLat) < planRingCap {
+			e.planLat = append(e.planLat, ns)
+		} else {
+			e.planLat[e.planIdx] = ns
+		}
+		e.planIdx = (e.planIdx + 1) % planRingCap
+		if e.planCount == 0 {
+			e.planFirst = ns
+		}
+		e.planCount++
+		e.planLast = ns
+		e.mu.Unlock()
+	}
 
 	clean := total - len(jobs)
 	if e.cfg.Rec != nil {
@@ -499,46 +586,58 @@ func (e *Engine) applyLocked(ops []op) int {
 	return applied
 }
 
-// solve characterizes the link at the member's distance and runs the
-// offload optimizer at the hub:member budget pair.
-func (e *Engine) solve(epoch uint64, hubE, memberE units.Joule, d units.Meter) (Plan, error) {
-	links := linkcache.Characterize(e.model, d)
-	if len(links) == 0 {
-		return Plan{}, fmt.Errorf("out of range at %.2fm", float64(d))
+// modeNames[mask] is the canonical shared Plan.Modes slice for an
+// availability bitmask (bit m set when phy.Mode m is present, names in
+// canonical order). Plans share these immutable slices instead of
+// allocating per-plan name slices — there are only 2^NumModes of them.
+var modeNames = func() (t [1 << phy.NumModes][]string) {
+	for mask := range t {
+		names := []string{}
+		for _, m := range phy.Modes {
+			if mask&(1<<uint(m)) != 0 {
+				names = append(names, m.String())
+			}
+		}
+		t[mask] = names
 	}
-	buf, _ := e.scratch.Get().(*[]float64)
-	if buf == nil || cap(*buf) < len(links) {
-		s := make([]float64, len(links))
-		buf = &s
+	return
+}()
+
+// buildPlan constructs job i's plan from the arena's slot i: fractions
+// and mixture from the batch offload kernel, blocks from the
+// largest-remainder counts directly (the exact per-mode counts
+// core.ScheduleBlocks would realize, without materializing the
+// sequence), mode names from the canonical shared table. Fractions and
+// Blocks are freshly allocated — committed plans are retained and
+// concurrently marshaled by PlanFor readers, so arena rows must never
+// escape into them.
+func (e *Engine) buildPlan(j *planJob, i int, epoch uint64, hubE units.Joule) {
+	n := int(e.batch.Cols.Len[i])
+	if n == 0 {
+		j.err = fmt.Errorf("out of range at %.2fm", float64(j.distance))
+		return
 	}
-	var alloc core.Allocation
-	err := core.OptimizeInto(&alloc, (*buf)[:len(links)], links, hubE, memberE)
-	e.scratch.Put(buf)
-	if err != nil {
-		return Plan{}, err
+	if err := e.batch.Errs[i]; err != nil {
+		j.err = err
+		return
 	}
 	p := Plan{
 		Epoch:     epoch,
-		Ratio:     float64(hubE) / float64(memberE),
-		Distance:  float64(d),
-		Modes:     make([]string, len(links)),
-		Fractions: make([]float64, len(links)),
-		Blocks:    make([]int, len(links)),
-		Bits:      alloc.Bits,
+		Ratio:     float64(hubE) / float64(j.energy),
+		Distance:  float64(j.distance),
+		Fractions: make([]float64, n),
+		Blocks:    make([]int, n),
+		Bits:      e.batch.Bits[i],
 	}
-	copy(p.Fractions, alloc.P)
-	for i, l := range links {
-		p.Modes[i] = l.Mode.String()
+	copy(p.Fractions, e.batch.PRow(i))
+	copy(p.Blocks, e.batch.BlockCountsRow(i, e.cfg.Window))
+	mask := 0
+	base := i * phy.NumModes
+	for s := 0; s < n; s++ {
+		mask |= 1 << uint(e.batch.Cols.Mode[base+s])
 	}
-	seq := core.ScheduleBlocks(links, alloc.P, e.cfg.Window)
-	for i, l := range links {
-		for _, m := range seq {
-			if m == l.Mode {
-				p.Blocks[i]++
-			}
-		}
-	}
-	return p, nil
+	p.Modes = modeNames[mask]
+	j.plan = p
 }
 
 // digest hashes the epoch's solved plans in commit order: member id,
