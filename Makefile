@@ -54,11 +54,12 @@ cover:
 	done
 
 # Run the benchmark suite (paper tables/figures, the waveform engine and
-# Monte Carlo sweeps, plus the hub/fleet engine), keep the raw text, and
-# distill it into the machine-readable perf record BENCH_pr8.json.
+# Monte Carlo sweeps, the hub/fleet engine, plus the serve epoch/
+# contention benchmarks), keep the raw text, and distill it into the
+# machine-readable perf record BENCH_pr9.json.
 bench:
-	$(GO) test -run=NONE -bench=. -benchmem . ./internal/hub | tee bench_output.txt
-	$(GO) run ./cmd/braidio-bench -benchjson BENCH_pr8.json < bench_output.txt
+	$(GO) test -run=NONE -bench=. -benchmem . ./internal/hub ./internal/serve | tee bench_output.txt
+	$(GO) run ./cmd/braidio-bench -benchjson BENCH_pr9.json < bench_output.txt
 
 # Quick compile-and-run smoke over every benchmark in the repo (one
 # iteration each); CI runs this to keep benchmarks from bit-rotting.
@@ -73,9 +74,9 @@ bench-smoke:
 # iteration count under-amortizes warm-up for sub-microsecond benchmarks
 # and false-positives the gate.
 bench-diff:
-	$(GO) test -run=NONE -bench=. -benchmem -benchtime=100ms . ./internal/hub > bench_diff_output.txt
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=100ms . ./internal/hub ./internal/serve > bench_diff_output.txt
 	$(GO) run ./cmd/braidio-bench -benchjson bench_new.json < bench_diff_output.txt
-	$(GO) run ./cmd/braidio-bench -benchdiff BENCH_pr8.json -threshold 2.0 bench_new.json
+	$(GO) run ./cmd/braidio-bench -benchdiff BENCH_pr9.json -threshold 2.0 bench_new.json
 
 # Print every reproduced artifact to stdout.
 repro:

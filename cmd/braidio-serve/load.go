@@ -46,35 +46,6 @@ func runLoad(lc loadConfig) error {
 		return fmt.Errorf("load: need positive -n and -epochs, got %d/%d", lc.n, lc.epochs)
 	}
 
-	base := lc.target
-	if base == "" {
-		rec := &obs.Recorder{}
-		lc.cfg.Rec = rec
-		// The generator drives epochs explicitly, so the in-process
-		// server needs no ticker; the queue bound only has to hold one
-		// registration wave.
-		if lc.cfg.QueueCap < 2*registerBatch {
-			lc.cfg.QueueCap = 2 * registerBatch
-		}
-		eng := serve.NewEngine(lc.cfg)
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		srv := &http.Server{
-			Handler:           (&serve.Server{Engine: eng, Rec: rec}).Handler(),
-			ReadHeaderTimeout: 5 * time.Second,
-			ReadTimeout:       30 * time.Second,
-			WriteTimeout:      30 * time.Second,
-			IdleTimeout:       2 * time.Minute,
-		}
-		go srv.Serve(ln)
-		defer srv.Close()
-		base = "http://" + ln.Addr().String()
-		fmt.Printf("load: in-process daemon at %s\n", base)
-	}
-	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
-
 	// Drift windows must not collide across rounds or the expected
 	// counts stop being exact; clamp k accordingly.
 	k := int(float64(lc.n) * lc.drift)
@@ -84,6 +55,43 @@ func runLoad(lc loadConfig) error {
 	if k < 1 {
 		k = 1
 	}
+
+	base := lc.target
+	if base == "" {
+		rec := obs.NewRecorder()
+		lc.cfg.Rec = rec
+		// The generator drives epochs explicitly, so the in-process
+		// server needs no ticker; the queue bound has to hold one
+		// registration wave and one full update round (drift + jitter
+		// windows land in a single epoch so the dirty-set accounting
+		// stays exact).
+		if min := 2 * registerBatch; lc.cfg.QueueCap < min {
+			lc.cfg.QueueCap = min
+		}
+		if min := 2 * k; lc.cfg.QueueCap < min {
+			lc.cfg.QueueCap = min
+		}
+		eng := serve.NewEngine(lc.cfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		// Write timeout must outlast a worst-case /v1/epoch: a bulk
+		// cold solve of a whole registration wave runs minutes at
+		// million-member scale on a small machine.
+		srv := &http.Server{
+			Handler:           (&serve.Server{Engine: eng, Rec: rec}).Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      10 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("load: in-process daemon at %s\n", base)
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
 
 	// Member populations: deterministic energies and distances.
 	r := rng.New(lc.seed)

@@ -43,6 +43,7 @@ func main() {
 	hubJ := flag.Float64("hub-j", 10, "hub-side energy budget E1 in joules")
 	queueCap := flag.Int("queue-cap", 1<<16, "admission queue bound; overflow is shed with 503")
 	workers := flag.Int("workers", 0, "planning pool size (0 = GOMAXPROCS; plans identical at any value)")
+	shards := flag.Int("shards", 0, "member-state shards, rounded up to a power of two (0 = GOMAXPROCS; plans identical at any value)")
 	journalPath := flag.String("journal", "", "capture admitted ops and epoch digests to this JSONL file")
 	journalDir := flag.String("journal-dir", "", "durable segmented journal directory; restart recovers state from it")
 	snapshotEvery := flag.Uint64("snapshot-every", 16, "journal-dir mode: epochs between snapshots (and segment rotations)")
@@ -61,6 +62,7 @@ func main() {
 
 	cfg := serve.Config{
 		Workers:           *workers,
+		Shards:            *shards,
 		QueueCap:          *queueCap,
 		RatioTolerance:    *ratioTol,
 		DistanceTolerance: *distTol,
@@ -121,7 +123,9 @@ func fail(err error) {
 // in-flight HTTP. With -journal-dir it first recovers engine state from
 // the newest snapshot plus the journal tail.
 func runDaemon(addr string, epochEvery time.Duration, cfg serve.Config, js journalSetup) error {
-	rec := &obs.Recorder{}
+	// A full recorder (initialized histogram bounds), so /metrics
+	// exports live latency histograms, not just counters.
+	rec := obs.NewRecorder()
 	cfg.Rec = rec
 	js.opts.Rec = rec
 

@@ -182,6 +182,14 @@ var lpLatencyBounds = []float64{
 	250, 500, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 1e7, 1e8,
 }
 
+// applyLatencyBounds buckets serve epoch apply-phase wall-clock latency
+// in nanoseconds. Applies span drained-queue sizes from a handful of
+// drift updates to million-member registration waves, so the range
+// extends to seconds.
+var applyLatencyBounds = []float64{
+	1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 1e7, 1e8, 1e9,
+}
+
 // Recorder is the full metric set the engines report into. All fields
 // are safe for concurrent use; record through them only when the
 // Recorder pointer is non-nil (every instrumented site guards on that,
@@ -300,6 +308,10 @@ type Recorder struct {
 	// ServeJournalErrors counts journal write/sync failures plus every
 	// record dropped while the journal was broken.
 	ServeJournalErrors Counter
+	// ServeApplyLatency distributes serve epoch apply-phase wall-clock
+	// latency (queue drain through per-shard op apply) in nanoseconds.
+	// Wall-clock, so excluded from Canonical snapshots.
+	ServeApplyLatency Histogram
 
 	// Tracer, when non-nil, receives mode-switch/fallback/replan/
 	// quarantine/hub-death events from sequential engine contexts. Nil
@@ -318,6 +330,7 @@ func NewRecorder() *Recorder {
 	r.SwitchEnergy.scale = energyScale
 	r.EnergyPerBit.init(energyPerBitBounds, 1e12)
 	r.LPSolveLatency.init(lpLatencyBounds, 1)
+	r.ServeApplyLatency.init(applyLatencyBounds, 1)
 	for i := range r.ModeBits {
 		r.ModeBits[i].scale = bitScale
 		r.ModeTime[i].scale = timeScale

@@ -80,8 +80,9 @@ type Snapshot struct {
 	// indexed by phy.Mode.
 	ModeBits, ModeTime [NumModes]float64
 
-	// EnergyPerBit and LPSolveLatency are the frozen histograms.
-	EnergyPerBit, LPSolveLatency HistogramSnapshot
+	// EnergyPerBit, LPSolveLatency, and ServeApplyLatency are the frozen
+	// histograms.
+	EnergyPerBit, LPSolveLatency, ServeApplyLatency HistogramSnapshot
 	// Cache is the process-global link-cache state.
 	Cache CacheSnapshot
 	// TraceTotal and TraceRetained describe the attached tracer (zero
@@ -138,6 +139,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		SwitchEnergy:        r.SwitchEnergy.Load(),
 		EnergyPerBit:        r.EnergyPerBit.snapshot(),
 		LPSolveLatency:      r.LPSolveLatency.snapshot(),
+		ServeApplyLatency:   r.ServeApplyLatency.snapshot(),
 	}
 	for i := range s.ModeBits {
 		s.ModeBits[i] = r.ModeBits[i].Load()
@@ -165,6 +167,9 @@ func (s Snapshot) Canonical() Snapshot {
 	s.LPSolveLatency.Bounds = nil
 	s.LPSolveLatency.Counts = nil
 	s.LPSolveLatency.Sum = 0
+	s.ServeApplyLatency.Bounds = nil
+	s.ServeApplyLatency.Counts = nil
+	s.ServeApplyLatency.Sum = 0
 	s.Cache = CacheSnapshot{}
 	s.TraceTotal, s.TraceRetained = 0, 0
 	return s
@@ -379,5 +384,6 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	writeHist(w, "braidio_energy_per_bit_joules", "Per-run delivered energy per bit.", &s.EnergyPerBit)
 	writeHist(w, "braidio_lp_solve_latency_nanoseconds", "Offload solve wall-clock latency.", &s.LPSolveLatency)
+	writeHist(w, "braidio_serve_apply_latency_nanoseconds", "Serve epoch apply-phase wall-clock latency.", &s.ServeApplyLatency)
 	return nil
 }

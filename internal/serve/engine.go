@@ -8,11 +8,19 @@
 // and journals every admitted operation so a captured session replays
 // bit-identically through the same batch planner.
 //
-// Determinism contract: plans are solved concurrently over internal/par
-// but each worker writes only its index-owned result slot and results
-// are committed in registration order, so an epoch's plan set — and the
-// FNV-1a digest over it — is bit-identical at any worker count. That is
-// what Replay checks.
+// Member state is sharded (see shard.go): each power-of-two shard owns
+// its members behind its own lock, epochs pipeline apply → plan →
+// commit per shard over internal/par, and /v1/plan reads touch only the
+// owning shard — so a million-member epoch no longer serializes every
+// read behind one engine-wide mutex.
+//
+// Determinism contract: a single sequenced router preserves admission
+// order within each shard (hub ops broadcast at their admission
+// position), plans are solved into index-owned slots, and the epoch
+// digest folds the shards' seq-ordered job lists back into global
+// registration order — so an epoch's plan set, and the FNV-1a digest
+// over it, is bit-identical at any shard count and any worker count.
+// That is what Replay checks.
 package serve
 
 import (
@@ -20,11 +28,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
-	"braidio/internal/core"
 	"braidio/internal/linkcache"
 	"braidio/internal/obs"
 	"braidio/internal/par"
@@ -37,6 +45,11 @@ import (
 type Config struct {
 	// Workers bounds the planning pool (<= 0 selects GOMAXPROCS).
 	Workers int
+	// Shards is the member-state shard count, rounded up to a power of
+	// two (<= 0 selects a power of two at least GOMAXPROCS, capped at
+	// 64). Purely operational: digests, journals, and snapshots are
+	// bit-identical at any shard count.
+	Shards int
 	// QueueCap bounds the admission queue; operations arriving when the
 	// queue is full are shed (Enqueue returns false, HTTP returns 503).
 	QueueCap int
@@ -69,6 +82,19 @@ type Config struct {
 	Rec *obs.Recorder
 }
 
+// maxShards bounds the shard table; beyond this the per-shard fixed
+// costs (arena, lock, stage bookkeeping) outweigh any contention win.
+const maxShards = 1 << 10
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 func (c Config) withDefaults() Config {
 	if c.QueueCap <= 0 {
 		c.QueueCap = 1 << 16
@@ -78,6 +104,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HubEnergy <= 0 {
 		c.HubEnergy = 10
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	c.Shards = ceilPow2(c.Shards)
+	if c.Shards > maxShards {
+		c.Shards = maxShards
 	}
 	return c
 }
@@ -120,9 +153,18 @@ type op struct {
 	distance units.Meter
 }
 
-// member is one registered device's engine-side state.
+// member is one registered device's engine-side state. id and seq are
+// immutable after creation; everything else is guarded by the owning
+// shard's lock. seq is the member's global registration index — the
+// cross-shard sort key that reassembles registration order for the
+// digest. live distinguishes a member whose register op has applied
+// from one the router pre-created for an op later in the same drain
+// (updates admitted before the register must still be skipped, exactly
+// as the single-lock engine skipped unknown ids).
 type member struct {
 	id       string
+	seq      uint64
+	live     bool
 	energy   units.Joule
 	distance units.Meter
 	dirty    bool
@@ -141,8 +183,8 @@ type EpochResult struct {
 	Members int    `json:"members"`
 	// Digest is the FNV-1a 64 hash over (epoch, id, fraction bits,
 	// blocks, bit count) of every plan solved this epoch, in
-	// registration order. Bit-identical across replays and worker
-	// counts.
+	// registration order. Bit-identical across replays, worker counts,
+	// and shard counts.
 	Digest string `json:"digest"`
 }
 
@@ -159,33 +201,36 @@ type Engine struct {
 	queue    []op
 	admitted uint64 // cumulative ops admitted, ever (incl. restored history)
 
+	// mu is the residual global lock: hub budget, epoch counter, and
+	// the global registration order (the snapshot/digest iteration
+	// order). All member state lives in the shards.
 	mu        sync.RWMutex
 	hubEnergy units.Joule
-	members   map[string]*member
 	order     []*member // registration order — the deterministic commit order
 	epoch     uint64
 
-	epochMu sync.Mutex // serializes RunEpoch
-	// batch is the epoch's shared column arena (guarded by epochMu):
-	// one reset per epoch replaces the old per-solve scratch pool.
-	batch core.BatchScratch
+	// shards own the member state; shardFor masks a SplitMix64 hash of
+	// the id into the power-of-two table.
+	shards    []*shard
+	shardMask uint64
+	// nextSeq is the next member's registration index. Written only by
+	// the epoch router (under epochMu) and restoreSnapshot (pre-traffic).
+	nextSeq uint64
 
-	// Plan-phase latency, guarded by mu: wall time of each planning
-	// epoch's characterize+solve+build phase, for /v1/stats percentiles.
-	// Only epochs that planned at least one member are recorded.
-	// Strictly observational — never touches EpochResult or the digest.
-	planLat   []float64 // ns ring, planRingCap entries
-	planIdx   int
-	planCount int
-	planFirst float64 // ns, first planning epoch (the cold bulk plan)
-	planLast  float64 // ns, most recent planning epoch
+	epochMu sync.Mutex // serializes RunEpoch
+
+	// Stage latency rings for /v1/stats percentiles: wall time of each
+	// epoch's apply phase (drain-to-applied, max across shards) and plan
+	// phase (characterize + batch solve + plan build, max across
+	// planning shards). Only epochs that applied (resp. planned) at
+	// least one op (member) are recorded. Strictly observational —
+	// never touches EpochResult or the digest.
+	latMu    sync.Mutex
+	planLat  latRing
+	applyLat latRing
 
 	journal *Journal // nil when capture is off
 }
-
-// planRingCap bounds the plan-latency ring Stats percentiles are
-// computed over.
-const planRingCap = 256
 
 // NewEngine builds an engine from a config, applying defaults.
 func NewEngine(cfg Config) *Engine {
@@ -195,14 +240,19 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.PayloadLen > 0 {
 		m.PayloadLen = cfg.PayloadLen
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		model:     m,
 		view:      linkcache.NewView(m),
 		queue:     make([]op, 0, cfg.QueueCap),
 		hubEnergy: cfg.HubEnergy,
-		members:   make(map[string]*member),
+		shards:    make([]*shard, cfg.Shards),
+		shardMask: uint64(cfg.Shards - 1),
 	}
+	for i := range e.shards {
+		e.shards[i] = &shard{members: make(map[string]*member)}
+	}
+	return e
 }
 
 // Config returns the engine's effective (defaulted) configuration.
@@ -304,11 +354,14 @@ func (e *Engine) SetHubEnergy(energy units.Joule) error {
 }
 
 // PlanFor returns the member's current plan. ok is false when the id is
-// unknown or not yet planned (registered but no epoch has run).
+// unknown or not yet planned (registered but no epoch has run). Only
+// the owning shard's read lock is taken — plan reads never contend with
+// other shards' apply or commit, nor with the engine's global lock.
 func (e *Engine) PlanFor(id string) (Plan, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	m, found := e.members[id]
+	s := e.shardFor(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, found := s.members[id]
 	if !found || !m.hasPlan {
 		return Plan{}, false
 	}
@@ -318,6 +371,7 @@ func (e *Engine) PlanFor(id string) (Plan, bool) {
 // Stats is the engine's instantaneous state for /v1/stats.
 type Stats struct {
 	Members    int     `json:"members"`
+	Shards     int     `json:"shards"`
 	QueueDepth int     `json:"queue_depth"`
 	QueueCap   int     `json:"queue_cap"`
 	Epoch      uint64  `json:"epoch"`
@@ -339,6 +393,11 @@ type Stats struct {
 	PlanP99Millis   float64 `json:"plan_p99_ms"`
 	FirstPlanMillis float64 `json:"first_plan_ms"`
 	LastPlanMillis  float64 `json:"last_plan_ms"`
+	// ApplyP50Millis and ApplyP99Millis are the same percentiles for the
+	// apply phase (queue drain through per-shard op apply). Zero until
+	// an epoch has applied at least one operation.
+	ApplyP50Millis float64 `json:"apply_p50_ms"`
+	ApplyP99Millis float64 `json:"apply_p99_ms"`
 }
 
 // planQuantile returns the q-quantile of sorted latencies in ns.
@@ -350,7 +409,19 @@ func planQuantile(sorted []float64, q float64) float64 {
 	return sorted[i]
 }
 
+// ringPercentiles copies and sorts a latency ring, returning its
+// p50/p99 in milliseconds.
+func ringPercentiles(r *latRing) (p50, p99 float64) {
+	lat := append([]float64(nil), r.buf...)
+	sort.Float64s(lat)
+	const ms = 1e6
+	return planQuantile(lat, 0.50) / ms, planQuantile(lat, 0.99) / ms
+}
+
 // Stats reports membership, queue depth, and the last completed epoch.
+// It aggregates from the queue, coordination, and latency locks only —
+// no shard lock is taken, so stats never stop-the-world a running
+// epoch or block plan reads.
 func (e *Engine) Stats() Stats {
 	e.queueMu.Lock()
 	depth := len(e.queue)
@@ -364,9 +435,9 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	e.mu.RLock()
-	defer e.mu.RUnlock()
 	s := Stats{
 		Members:      len(e.order),
+		Shards:       len(e.shards),
 		QueueDepth:   depth,
 		QueueCap:     e.cfg.QueueCap,
 		Epoch:        e.epoch,
@@ -374,30 +445,19 @@ func (e *Engine) Stats() Stats {
 		Admitted:     admitted,
 		JournalError: jerr,
 	}
-	if e.planCount > 0 {
-		lat := append([]float64(nil), e.planLat...)
-		sort.Float64s(lat)
+	e.mu.RUnlock()
+	e.latMu.Lock()
+	if e.planLat.count > 0 {
+		s.PlanP50Millis, s.PlanP99Millis = ringPercentiles(&e.planLat)
 		const ms = 1e6
-		s.PlanP50Millis = planQuantile(lat, 0.50) / ms
-		s.PlanP99Millis = planQuantile(lat, 0.99) / ms
-		s.FirstPlanMillis = e.planFirst / ms
-		s.LastPlanMillis = e.planLast / ms
+		s.FirstPlanMillis = e.planLat.first / ms
+		s.LastPlanMillis = e.planLat.last / ms
 	}
+	if e.applyLat.count > 0 {
+		s.ApplyP50Millis, s.ApplyP99Millis = ringPercentiles(&e.applyLat)
+	}
+	e.latMu.Unlock()
 	return s
-}
-
-// dirtyAgainst reports whether fresh inputs have drifted out of
-// tolerance from the member's planned inputs. A member with no plan yet
-// is always dirty.
-func (e *Engine) dirtyAgainst(m *member) bool {
-	if !m.hasPlan {
-		return true
-	}
-	ratio := float64(e.hubEnergy) / float64(m.energy)
-	if !core.RatioWithin(ratio, m.plan.Ratio, e.cfg.RatioTolerance) {
-		return true
-	}
-	return !core.RatioWithin(float64(m.distance), m.plan.Distance, e.cfg.DistanceTolerance)
 }
 
 // planJob snapshots one dirty member's solve inputs; results land in
@@ -410,11 +470,13 @@ type planJob struct {
 	err      error
 }
 
-// RunEpoch drains the admission queue, applies the operations in
-// admission order, re-plans exactly the dirty members over the worker
-// pool, commits the plans in registration order, and returns the epoch
-// summary with its deterministic digest. Journaling (if any) is the
-// caller's job — the Journal wrapper logs ops and results around this.
+// RunEpoch drains the admission queue, routes the operations to their
+// owning shards (admission order preserved per shard, hub ops broadcast
+// at their admission position), pipelines apply → plan → commit across
+// the shards over the worker pool, and folds the shards' results back
+// into global registration order for the epoch summary and its
+// deterministic digest. Journaling (if any) is the caller's job — the
+// Journal wrapper logs ops and results around this.
 func (e *Engine) RunEpoch() (EpochResult, error) {
 	e.epochMu.Lock()
 	defer e.epochMu.Unlock()
@@ -422,6 +484,7 @@ func (e *Engine) RunEpoch() (EpochResult, error) {
 	e.mu.Lock()
 	e.epoch++
 	epoch := e.epoch
+	hubE := e.hubEnergy
 	e.mu.Unlock()
 
 	e.queueMu.Lock()
@@ -435,88 +498,128 @@ func (e *Engine) RunEpoch() (EpochResult, error) {
 	}
 	e.queueMu.Unlock()
 
-	e.mu.Lock()
-	applied := e.applyLocked(ops)
+	applyStart := time.Now()
 
-	// Collect the dirty set in registration order and snapshot inputs.
-	jobs := make([]planJob, 0, len(e.order))
-	for _, m := range e.order {
-		if m.dirty {
-			jobs = append(jobs, planJob{m: m, energy: m.energy, distance: m.distance})
-		}
-	}
-	hubE := e.hubEnergy
-	total := len(e.order)
-	e.mu.Unlock()
-
-	// Batch plan phase, outside the state lock: one arena reset, one
-	// striped columnar characterization, one striped offload kernel,
-	// then per-job plan construction into index-owned slots — the par
-	// determinism contract at every stage, so the epoch's plan set is
-	// bit-identical at any worker count. The wall clock around it feeds
-	// only the latency metrics, never the results.
-	var planStart time.Time
-	if len(jobs) > 0 {
-		planStart = time.Now()
-		e.batch.Reset(len(jobs))
-		for i := range jobs {
-			e.batch.Dists[i] = jobs[i].distance
-			e.batch.E1[i] = hubE
-			e.batch.E2[i] = jobs[i].energy
-		}
-		e.view.CharacterizeColumns(e.cfg.Workers, e.batch.Dists, &e.batch.Cols)
-		core.OptimizeBatch(&e.batch, e.cfg.Workers)
-		par.For(e.cfg.Workers, len(jobs), func(i int) { e.buildPlan(&jobs[i], i, epoch, hubE) })
-		if e.cfg.Rec != nil {
-			e.cfg.Rec.BatchRounds.Add(1)
-		}
-	}
-
-	// Commit in registration order.
-	e.mu.Lock()
-	var solveErr error
-	planned := 0
-	for i := range jobs {
-		j := &jobs[i]
-		if j.err != nil {
-			// Out of range or drained: keep the member dirty so a
-			// recovering update re-plans it, surface the first error.
-			if solveErr == nil {
-				solveErr = fmt.Errorf("serve: member %q: %w", j.m.id, j.err)
+	// Sequenced router: one pass over the drained queue, fanning each op
+	// to its owning shard's queue. Unknown register targets are
+	// pre-created here (live=false until their register applies) so the
+	// router is the only writer of shard maps and the global order —
+	// member seq numbers, and therefore the digest's registration-order
+	// merge, are fixed before any shard stage runs.
+	hubApplied := 0
+	finalHub := hubE
+	var newMembers []*member
+	for i := range ops {
+		o := &ops[i]
+		if o.kind == opHub {
+			// Broadcast at this admission position: every shard sees the
+			// budget change at exactly the sequence point a single-lock
+			// apply would have. Counted as applied once, here.
+			for _, s := range e.shards {
+				s.ops = append(s.ops, *o)
 			}
+			finalHub = o.energy
+			hubApplied++
 			continue
 		}
-		j.m.plan = j.plan
-		j.m.hasPlan = true
-		j.m.dirty = false
-		planned++
+		s := e.shardFor(o.id)
+		if o.kind == opRegister {
+			if _, found := s.members[o.id]; !found {
+				m := &member{id: o.id, seq: e.nextSeq}
+				e.nextSeq++
+				// Map insert under the shard lock: /v1/plan readers may
+				// hold the read side right now. The unlocked lookup above
+				// is safe — this router is the map's only writer.
+				s.mu.Lock()
+				s.members[o.id] = m
+				s.mu.Unlock()
+				s.order = append(s.order, m)
+				newMembers = append(newMembers, m)
+			}
+		}
+		s.ops = append(s.ops, *o)
 	}
-	e.mu.Unlock()
-
-	if len(jobs) > 0 {
-		ns := float64(time.Since(planStart))
-		if e.cfg.Rec != nil {
-			e.cfg.Rec.LPSolveLatency.Observe(ns)
-		}
+	if len(newMembers) > 0 {
 		e.mu.Lock()
-		if e.planLat == nil {
-			e.planLat = make([]float64, 0, planRingCap)
-		}
-		if len(e.planLat) < planRingCap {
-			e.planLat = append(e.planLat, ns)
-		} else {
-			e.planLat[e.planIdx] = ns
-		}
-		e.planIdx = (e.planIdx + 1) % planRingCap
-		if e.planCount == 0 {
-			e.planFirst = ns
-		}
-		e.planCount++
-		e.planLast = ns
+		e.order = append(e.order, newMembers...)
 		e.mu.Unlock()
 	}
 
-	clean := total - len(jobs)
+	// Pipelined shard stages: each shard applies its ops, plans its
+	// dirty set through its own arena, and commits — independently, so
+	// one shard can be solving while another is still applying. The
+	// worker pool splits into shard fan-out × intra-shard kernel
+	// workers; determinism does not depend on either split.
+	W := e.cfg.Workers
+	if W <= 0 {
+		W = runtime.GOMAXPROCS(0)
+	}
+	P := len(e.shards)
+	outer := W
+	if outer > P {
+		outer = P
+	}
+	inner := W / P
+	if inner < 1 {
+		inner = 1
+	}
+	par.For(outer, P, func(si int) {
+		e.shards[si].runStage(e, epoch, hubE, inner, applyStart)
+	})
+
+	// Commit the hub budget (shards tracked their own local copies).
+	if hubApplied > 0 {
+		e.mu.Lock()
+		e.hubEnergy = finalHub
+		e.mu.Unlock()
+	}
+
+	// Fold shard results. The first solve error across shards is the one
+	// with the lowest member seq — the same "first in registration
+	// order" the single-lock engine surfaced.
+	applied := hubApplied
+	jobsTotal := 0
+	planned := 0
+	var solveErr error
+	var solveErrSeq uint64
+	applyNs, planNs := 0.0, 0.0
+	for _, s := range e.shards {
+		applied += s.applied
+		jobsTotal += len(s.jobs)
+		planned += s.planned
+		if s.firstErr != nil && (solveErr == nil || s.firstErrSeq < solveErrSeq) {
+			solveErr, solveErrSeq = s.firstErr, s.firstErrSeq
+		}
+		if s.applyEndNs > applyNs {
+			applyNs = s.applyEndNs
+		}
+		if len(s.jobs) > 0 && s.planNs > planNs {
+			planNs = s.planNs
+		}
+	}
+
+	if len(ops) > 0 {
+		if e.cfg.Rec != nil {
+			e.cfg.Rec.ServeApplyLatency.Observe(applyNs)
+		}
+		e.latMu.Lock()
+		e.applyLat.observe(applyNs)
+		e.latMu.Unlock()
+	}
+	if jobsTotal > 0 {
+		if e.cfg.Rec != nil {
+			e.cfg.Rec.LPSolveLatency.Observe(planNs)
+			e.cfg.Rec.BatchRounds.Add(1)
+		}
+		e.latMu.Lock()
+		e.planLat.observe(planNs)
+		e.latMu.Unlock()
+	}
+
+	e.mu.RLock()
+	total := len(e.order)
+	e.mu.RUnlock()
+	clean := total - jobsTotal
 	if e.cfg.Rec != nil {
 		e.cfg.Rec.ServeEpochs.Add(1)
 		e.cfg.Rec.ServePlans.Add(uint64(planned))
@@ -528,7 +631,7 @@ func (e *Engine) RunEpoch() (EpochResult, error) {
 		Planned: planned,
 		Clean:   clean,
 		Members: total,
-		Digest:  digest(epoch, jobs),
+		Digest:  e.epochDigest(epoch, jobsTotal),
 	}
 	if journal != nil {
 		journal.epoch(res)
@@ -542,48 +645,37 @@ func (e *Engine) RunEpoch() (EpochResult, error) {
 	return res, solveErr
 }
 
-// applyLocked applies admitted operations in order under e.mu and
-// returns how many took effect.
-func (e *Engine) applyLocked(ops []op) int {
-	applied := 0
-	for _, o := range ops {
-		switch o.kind {
-		case opRegister:
-			m, found := e.members[o.id]
-			if !found {
-				m = &member{id: o.id}
-				e.members[o.id] = m
-				e.order = append(e.order, m)
-			}
-			m.energy, m.distance, m.dirty = o.energy, o.distance, true
-			if e.cfg.Rec != nil {
-				e.cfg.Rec.ServeRegisters.Add(1)
-			}
-			applied++
-		case opUpdate:
-			m, found := e.members[o.id]
-			if !found {
-				continue // raced a shed register; nothing to update
-			}
-			m.energy, m.distance = o.energy, o.distance
-			if !m.dirty {
-				m.dirty = e.dirtyAgainst(m)
-			}
-			if e.cfg.Rec != nil {
-				e.cfg.Rec.ServeUpdates.Add(1)
-			}
-			applied++
-		case opHub:
-			e.hubEnergy = o.energy
-			for _, m := range e.order {
-				if !m.dirty {
-					m.dirty = e.dirtyAgainst(m)
+// forEachJobInOrder walks this epoch's planned jobs across all shards
+// in ascending member seq — reassembling global registration order from
+// the shard-local (already seq-sorted) job lists by linear k-way merge.
+// Called after the stage barrier, so the job slices are quiescent; ids,
+// seqs, and the job-local plan copies are read without shard locks
+// (id/seq are immutable, the plan copy is stage-owned).
+func (e *Engine) forEachJobInOrder(fn func(*planJob)) {
+	if len(e.shards) == 1 {
+		s := e.shards[0]
+		for i := range s.jobs {
+			fn(&s.jobs[i])
+		}
+		return
+	}
+	idx := make([]int, len(e.shards))
+	for {
+		best := -1
+		var bestSeq uint64
+		for si, s := range e.shards {
+			if idx[si] < len(s.jobs) {
+				if seq := s.jobs[idx[si]].m.seq; best < 0 || seq < bestSeq {
+					best, bestSeq = si, seq
 				}
 			}
-			applied++
 		}
+		if best < 0 {
+			return
+		}
+		fn(&e.shards[best].jobs[idx[best]])
+		idx[best]++
 	}
-	return applied
 }
 
 // modeNames[mask] is the canonical shared Plan.Modes slice for an
@@ -603,48 +695,12 @@ var modeNames = func() (t [1 << phy.NumModes][]string) {
 	return
 }()
 
-// buildPlan constructs job i's plan from the arena's slot i: fractions
-// and mixture from the batch offload kernel, blocks from the
-// largest-remainder counts directly (the exact per-mode counts
-// core.ScheduleBlocks would realize, without materializing the
-// sequence), mode names from the canonical shared table. Fractions and
-// Blocks are freshly allocated — committed plans are retained and
-// concurrently marshaled by PlanFor readers, so arena rows must never
-// escape into them.
-func (e *Engine) buildPlan(j *planJob, i int, epoch uint64, hubE units.Joule) {
-	n := int(e.batch.Cols.Len[i])
-	if n == 0 {
-		j.err = fmt.Errorf("out of range at %.2fm", float64(j.distance))
-		return
-	}
-	if err := e.batch.Errs[i]; err != nil {
-		j.err = err
-		return
-	}
-	p := Plan{
-		Epoch:     epoch,
-		Ratio:     float64(hubE) / float64(j.energy),
-		Distance:  float64(j.distance),
-		Fractions: make([]float64, n),
-		Blocks:    make([]int, n),
-		Bits:      e.batch.Bits[i],
-	}
-	copy(p.Fractions, e.batch.PRow(i))
-	copy(p.Blocks, e.batch.BlockCountsRow(i, e.cfg.Window))
-	mask := 0
-	base := i * phy.NumModes
-	for s := 0; s < n; s++ {
-		mask |= 1 << uint(e.batch.Cols.Mode[base+s])
-	}
-	p.Modes = modeNames[mask]
-	j.plan = p
-}
-
-// digest hashes the epoch's solved plans in commit order: member id,
-// the exact fraction bit patterns, block counts, and deliverable bits.
-// Failed solves contribute their member id with an error marker so a
-// replay diverging into an error is caught too.
-func digest(epoch uint64, jobs []planJob) string {
+// epochDigest hashes the epoch's solved plans in commit (registration)
+// order: member id, the exact fraction bit patterns, block counts, and
+// deliverable bits. Failed solves contribute their member id with an
+// error marker so a replay diverging into an error is caught too. The
+// byte stream is identical to the pre-shard engine's digest.
+func (e *Engine) epochDigest(epoch uint64, jobsTotal int) string {
 	h := fnv.New64a()
 	var b [8]byte
 	put := func(v uint64) {
@@ -654,13 +710,12 @@ func digest(epoch uint64, jobs []planJob) string {
 		h.Write(b[:])
 	}
 	put(epoch)
-	put(uint64(len(jobs)))
-	for i := range jobs {
-		j := &jobs[i]
+	put(uint64(jobsTotal))
+	e.forEachJobInOrder(func(j *planJob) {
 		h.Write([]byte(j.m.id))
 		if j.err != nil {
 			put(^uint64(0))
-			continue
+			return
 		}
 		for _, f := range j.plan.Fractions {
 			put(math.Float64bits(f))
@@ -669,6 +724,6 @@ func digest(epoch uint64, jobs []planJob) string {
 			put(uint64(n))
 		}
 		put(math.Float64bits(j.plan.Bits))
-	}
+	})
 	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -232,6 +232,7 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	st := s.Engine.Stats()
 	fmt.Fprintf(&buf, "# TYPE braidio_serve_members gauge\nbraidio_serve_members %d\n", st.Members)
+	fmt.Fprintf(&buf, "# TYPE braidio_serve_shards gauge\nbraidio_serve_shards %d\n", st.Shards)
 	fmt.Fprintf(&buf, "# TYPE braidio_serve_queue_depth gauge\nbraidio_serve_queue_depth %d\n", st.QueueDepth)
 	fmt.Fprintf(&buf, "# TYPE braidio_serve_epoch gauge\nbraidio_serve_epoch %d\n", st.Epoch)
 	io.WriteString(w, buf.String())

@@ -327,6 +327,15 @@ const replayMaxLine = 1 << 20
 // is tolerated. Records are CRC-verified when framed; bare legacy JSONL
 // lines are accepted for pre-CRC captures.
 func Replay(r io.Reader) (ReplayResult, error) {
+	return replayWith(r, Config{})
+}
+
+// replayWith is Replay with operational overrides: the replaying
+// engine's worker and shard counts come from operational (zero values
+// keep the defaults). Planner-semantic fields still come from the
+// journal's config header — they are what digest fidelity depends on;
+// workers and shards, by the determinism contract, cannot change a bit.
+func replayWith(r io.Reader, operational Config) (ReplayResult, error) {
 	lr := newLineReader(r, replayMaxLine)
 
 	var res ReplayResult
@@ -359,6 +368,8 @@ func Replay(r io.Reader) (ReplayResult, error) {
 				return res, fmt.Errorf("serve: journal line %d: want config header, got %q", line, rec.T)
 			}
 			eng = NewEngine(Config{
+				Workers:           operational.Workers,
+				Shards:            operational.Shards,
 				RatioTolerance:    rec.RatioTol,
 				DistanceTolerance: rec.DistTol,
 				Window:            rec.Window,

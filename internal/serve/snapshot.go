@@ -132,9 +132,16 @@ func opFromWire(t, id string, e, d float64) (op, bool) {
 // hold e.queueMu (freezing the pending queue and the admitted counter
 // against concurrent admissions — and, because journal writes happen
 // inside that same critical section, freezing the journal stream at
-// exactly this point); committed state is read under e.mu.RLock.
+// exactly this point); committed state is read under e.mu.RLock plus
+// every shard's read lock (taken in index order, after e.mu — the one
+// place both levels nest), and the membership is walked in the global
+// registration order, so snapshot bytes are identical at any shard
+// count. Read locks only: concurrent /v1/plan reads stay unblocked.
 func (e *Engine) buildSnapshot() *snapshotRecord {
 	e.mu.RLock()
+	for _, s := range e.shards {
+		s.mu.RLock()
+	}
 	snap := &snapshotRecord{
 		Epoch: e.epoch,
 		Ops:   e.admitted,
@@ -151,6 +158,9 @@ func (e *Engine) buildSnapshot() *snapshotRecord {
 			mr.Plan = &p
 		}
 		snap.Members = append(snap.Members, mr)
+	}
+	for i := len(e.shards) - 1; i >= 0; i-- {
+		e.shards[i].mu.RUnlock()
 	}
 	e.mu.RUnlock()
 	if n := len(e.queue); n > 0 {
@@ -179,18 +189,23 @@ func (e *Engine) restoreSnapshot(s *snapshotRecord) error {
 		if mr.ID == "" {
 			return fmt.Errorf("serve: snapshot member with empty id")
 		}
-		if _, dup := e.members[mr.ID]; dup {
-			return fmt.Errorf("serve: snapshot member %q duplicated", mr.ID)
-		}
 		if mr.E <= 0 || mr.D <= 0 {
 			return fmt.Errorf("serve: snapshot member %q has non-positive energy %v or distance %v", mr.ID, mr.E, mr.D)
 		}
-		m := &member{id: mr.ID, energy: units.Joule(mr.E), distance: units.Meter(mr.D), dirty: mr.Dirty}
+		sh := e.shardFor(mr.ID)
+		if _, dup := sh.members[mr.ID]; dup {
+			return fmt.Errorf("serve: snapshot member %q duplicated", mr.ID)
+		}
+		// Seq numbers are reassigned in snapshot (registration) order, so
+		// the cross-shard digest merge reproduces the capture's order.
+		m := &member{id: mr.ID, seq: e.nextSeq, live: true, energy: units.Joule(mr.E), distance: units.Meter(mr.D), dirty: mr.Dirty}
+		e.nextSeq++
 		if mr.Plan != nil {
 			m.plan = *mr.Plan
 			m.hasPlan = true
 		}
-		e.members[m.id] = m
+		sh.members[m.id] = m
+		sh.order = append(sh.order, m)
 		e.order = append(e.order, m)
 	}
 	e.queueMu.Lock()
