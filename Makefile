@@ -22,26 +22,32 @@ test: vet
 race:
 	$(GO) test -race ./...
 
-# Short fuzz passes over the frame codec and the line-coding round trip
-# (extend -fuzztime for deeper runs). FuzzDecode covers arbitrary
-# buffers; FuzzDecodeMutated covers single-mutation corruption of valid
-# frames (bit flips and truncations at the validation boundaries).
+# Short fuzz passes over the frame codec, the line-coding round trip,
+# and the network planner (extend -fuzztime for deeper runs). FuzzDecode
+# covers arbitrary buffers; FuzzDecodeMutated covers single-mutation
+# corruption of valid frames (bit flips and truncations at the
+# validation boundaries); FuzzPlan covers adversarial topologies
+# (NaN/infinite positions, negative loads, degenerate batteries) against
+# net.Plan's typed-error contract.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecode$$ -fuzztime=10s ./internal/frame
 	$(GO) test -run=NONE -fuzz=FuzzDecodeMutated -fuzztime=10s ./internal/frame
 	$(GO) test -run=NONE -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/linecode
+	$(GO) test -run=NONE -fuzz=FuzzPlan -fuzztime=10s ./internal/net
 
 # Coverage floors for the paper-critical packages (offload solver, hub
-# engine, MAC). Set a few points below current measurements (92.1 / 86.8
-# / 90.4 as of PR 5) so refactors have headroom but coverage cannot
-# silently erode; raise the floors when coverage improves.
+# engine, MAC, network scheduler). Set a few points below current
+# measurements (92.1 / 86.8 / 90.4 as of PR 5; 87.0 for net as of PR 10)
+# so refactors have headroom but coverage cannot silently erode; raise
+# the floors when coverage improves.
 COVER_FLOOR_CORE ?= 90.0
 COVER_FLOOR_HUB  ?= 84.0
 COVER_FLOOR_MAC  ?= 88.0
+COVER_FLOOR_NET  ?= 85.0
 
 cover:
 	@set -e; \
-	for spec in core:$(COVER_FLOOR_CORE) hub:$(COVER_FLOOR_HUB) mac:$(COVER_FLOOR_MAC); do \
+	for spec in core:$(COVER_FLOOR_CORE) hub:$(COVER_FLOOR_HUB) mac:$(COVER_FLOOR_MAC) net:$(COVER_FLOOR_NET); do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		out=$$($(GO) test -count=1 -coverprofile=cover_$$pkg.out ./internal/$$pkg); \
 		echo "$$out"; \
@@ -54,12 +60,12 @@ cover:
 	done
 
 # Run the benchmark suite (paper tables/figures, the waveform engine and
-# Monte Carlo sweeps, the hub/fleet engine, plus the serve epoch/
-# contention benchmarks), keep the raw text, and distill it into the
-# machine-readable perf record BENCH_pr9.json.
+# Monte Carlo sweeps, the hub/fleet engine, the serve epoch/contention
+# benchmarks, plus the network scheduler), keep the raw text, and
+# distill it into the machine-readable perf record BENCH_pr10.json.
 bench:
-	$(GO) test -run=NONE -bench=. -benchmem . ./internal/hub ./internal/serve | tee bench_output.txt
-	$(GO) run ./cmd/braidio-bench -benchjson BENCH_pr9.json < bench_output.txt
+	$(GO) test -run=NONE -bench=. -benchmem . ./internal/hub ./internal/serve ./internal/net | tee bench_output.txt
+	$(GO) run ./cmd/braidio-bench -benchjson BENCH_pr10.json < bench_output.txt
 
 # Quick compile-and-run smoke over every benchmark in the repo (one
 # iteration each); CI runs this to keep benchmarks from bit-rotting.
@@ -74,9 +80,9 @@ bench-smoke:
 # iteration count under-amortizes warm-up for sub-microsecond benchmarks
 # and false-positives the gate.
 bench-diff:
-	$(GO) test -run=NONE -bench=. -benchmem -benchtime=100ms . ./internal/hub ./internal/serve > bench_diff_output.txt
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=100ms . ./internal/hub ./internal/serve ./internal/net > bench_diff_output.txt
 	$(GO) run ./cmd/braidio-bench -benchjson bench_new.json < bench_diff_output.txt
-	$(GO) run ./cmd/braidio-bench -benchdiff BENCH_pr9.json -threshold 2.0 bench_new.json
+	$(GO) run ./cmd/braidio-bench -benchdiff BENCH_pr10.json -threshold 2.0 bench_new.json
 
 # Print every reproduced artifact to stdout.
 repro:

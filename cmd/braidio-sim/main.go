@@ -11,6 +11,7 @@
 //	braidio-sim -txwh 0.5 -rxwh 80 -d 1.2          # custom capacities
 //	braidio-sim -fleet 16 -members 4               # population of hub stars
 //	braidio-sim -fleet 16 -cpuprofile cpu.pprof    # profile the fleet engine
+//	braidio-sim -scenario net                      # relay reach + carrier sharing
 package main
 
 import (
@@ -47,6 +48,7 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for stochastic fault injectors")
 	list := flag.Bool("list", false, "list the device catalog and exit")
 	fleetN := flag.Int("fleet", 0, "simulate a fleet of N independent hubs (uses -members, -workers, -seed, -horizon, -rounds)")
+	scenario := flag.String("scenario", "", "run a named multi-hub scenario: 'net' demos 2-hop relay reach and shared-carrier scheduling (uses -workers, -horizon, -rounds)")
 	membersM := flag.Int("members", 4, "wearables per hub in -fleet mode")
 	workers := flag.Int("workers", 0, "fleet worker pool size (0 = GOMAXPROCS; results identical at any value)")
 	seed := flag.Uint64("seed", 42, "fleet substream seed (same seed, same fleet)")
@@ -77,6 +79,20 @@ func main() {
 
 	if *matrix {
 		printMatrix(braidio.Meter(*dist))
+		return
+	}
+
+	if *scenario != "" {
+		if *scenario != "net" {
+			fail(fmt.Errorf("unknown -scenario %q (try 'net')", *scenario))
+		}
+		runNetScenario(netOpts{
+			workers: *workers,
+			horizon: *horizon,
+			rounds:  *rounds,
+			hub:     lookup(*rxName, *rxWh, "hub"),
+			member:  lookup(*txName, *txWh, "member"),
+		})
 		return
 	}
 

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"braidio"
+	"braidio/internal/ascii"
+	"braidio/internal/field"
+	"braidio/internal/net"
+	"braidio/internal/units"
+)
+
+// netOpts carries the -scenario net knobs from main.
+type netOpts struct {
+	workers int
+	horizon float64
+	rounds  int
+	hub     braidio.Device
+	member  braidio.Device
+}
+
+// runNetScenario demonstrates the two network couplings the isolated
+// fleet engine cannot express, each on the geometry that isolates it:
+//
+//   - relay reach: a member stranded past its home hub's active range
+//     delivers through a 2-hop braid via a foreign hub, with the
+//     forwarding bill on the via hub's battery;
+//   - carrier sharing: two hubs close enough that each hub's active
+//     carrier powers the neighbor's backscatter uplinks, cutting the
+//     hub-side cost of those rounds to the passive envelope.
+//
+// Both runs print the same per-member table and a counterfactual with
+// the coupling disabled, so the gain is visible in one screen.
+func runNetScenario(o netOpts) {
+	mk := func(x, y float64, members ...net.Member) net.Hub {
+		return net.Hub{Device: o.hub, Pos: field.Vec2{X: x, Y: y}, Members: members}
+	}
+	m := func(x, y float64, load units.BitRate) net.Member {
+		return net.Member{Device: o.member, Pos: field.Vec2{X: x, Y: y}, Load: load}
+	}
+
+	// Relay reach: hub 1's trunk back to hub 0 is 1600 m; the stranded
+	// member at 1800 m is past the ~1773 m active range of its home hub
+	// but an easy 200 m from hub 1.
+	relay := &net.Topology{Hubs: []net.Hub{
+		mk(0, 0, m(0.00, 0.40, 24000), m(0.55, -0.20, 31000), m(1800, 0, 12000)),
+		mk(1600, 0, m(1600.0, 0.60, 22000), m(1599.2, 0.00, 36000)),
+	}}
+	fmt.Printf("== relay reach: stranded member at 1800 m, hubs at 0 m and 1600 m ==\n\n")
+	res := runNetTopo(relay, net.Config{Workers: o.workers}, o, true)
+	base := runNetTopo(relay, net.Config{Workers: o.workers, DisableRelay: true}, o, false)
+	stranded, strandedBase := res.Hubs[0].Members[2], base.Hubs[0].Members[2]
+	fmt.Printf("stranded member: %.4g bits via 2-hop relay (%d relay rounds, via hub billed %.4g J)\n",
+		stranded.Bits, stranded.RelayRounds, float64(stranded.ViaDrain))
+	fmt.Printf("without relays:  %.4g bits (quarantined: %v) — direct is out of range\n\n",
+		strandedBase.Bits, strandedBase.Quarantined)
+
+	// Carrier sharing: two hubs 1.6 m apart are donors for each other's
+	// backscatter uplinks; a third hub 2 km away keeps a nonzero
+	// interference floor under every receiver.
+	share := &net.Topology{Hubs: []net.Hub{
+		mk(0, 0, m(0.30, 0.00, 20000), m(-0.25, 0.35, 35000), m(0.10, -0.45, 50000)),
+		mk(1.6, 0, m(1.85, 0.10, 15000), m(1.30, -0.30, 42000), m(1.70, 0.50, 27000)),
+		mk(2000, 1.6, m(2000.3, 1.60, 33000), m(1999.6, 1.25, 18000), m(2000.0, 2.10, 46000)),
+	}}
+	fmt.Printf("== carrier sharing: two hubs 1.6 m apart + a far hub's interference floor ==\n\n")
+	sres := runNetTopo(share, net.Config{Workers: o.workers}, o, true)
+	sbase := runNetTopo(share, net.Config{Workers: o.workers, DisableCarrierShare: true}, o, false)
+	fmt.Printf("carrier-shared rounds: %d (interfered rounds: %d)\n", sres.SharedRounds, sres.InterferedRounds)
+	cluster := float64(sres.Hubs[0].Drain + sres.Hubs[1].Drain)
+	clusterBase := float64(sbase.Hubs[0].Drain + sbase.Hubs[1].Drain)
+	fmt.Printf("clustered hub energy: %.4g J shared vs %.4g J isolated carriers (%.3g%% saved)\n",
+		cluster, clusterBase, 100*(1-cluster/clusterBase))
+}
+
+// runNetTopo builds and runs one network topology; with print set it
+// also renders the per-member table.
+func runNetTopo(topo *net.Topology, cfg net.Config, o netOpts, print bool) *net.Result {
+	n, err := net.New(topo, cfg)
+	if err != nil {
+		fail(err)
+	}
+	res, err := n.Run(units.Second(o.horizon), o.rounds)
+	if err != nil {
+		fail(err)
+	}
+	if !print {
+		return res
+	}
+	rows := [][]string{}
+	for h := range res.Hubs {
+		hr := &res.Hubs[h]
+		for j := range hr.Members {
+			mr := &hr.Members[j]
+			mix := fmt.Sprintf("%dd/%ds/%dr", mr.DirectRounds, mr.SharedRounds, mr.RelayRounds)
+			status := "ok"
+			switch {
+			case mr.Quarantined:
+				status = fmt.Sprintf("quarantined r%d", mr.QuarantinedRound)
+			case mr.Starved:
+				status = "starved"
+			}
+			rows = append(rows, []string{
+				fmt.Sprint(h), fmt.Sprint(j),
+				fmt.Sprintf("%.4g", mr.Bits),
+				fmt.Sprintf("%.3g", mr.RelayBits),
+				mix,
+				fmt.Sprintf("%.3g", float64(mr.MemberDrain)),
+				fmt.Sprintf("%.3g", float64(mr.HubDrain)),
+				fmt.Sprintf("%.3g", float64(mr.ViaDrain)),
+				status,
+			})
+		}
+	}
+	ascii.Table(os.Stdout, []string{"Hub", "Member", "Bits", "Relayed", "Rounds d/s/r", "Member J", "Hub J", "Via J", "Status"}, rows)
+	fmt.Printf("\ntotal: %.4g bits over %.0f s (%d rounds); relayed %.4g bits, %d shared, %d interfered rounds\n\n",
+		res.TotalBits(), o.horizon, o.rounds, res.RelayBits, res.SharedRounds, res.InterferedRounds)
+	return res
+}

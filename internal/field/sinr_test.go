@@ -1,0 +1,86 @@
+package field
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSINRAtZeroInterferersBitIdentical(t *testing.T) {
+	// With no interferers SINRAt must return SNRAt verbatim — the gate,
+	// not a recomputation — over a whole grid of tag positions.
+	s := PaperScene()
+	for iy := 0; iy <= 20; iy++ {
+		for ix := 0; ix <= 20; ix++ {
+			p := Vec2{float64(ix) / 10, float64(iy) / 10}
+			a := s.SNRAt(p, s.RX)
+			b := s.SINRAt(p, s.RX, nil)
+			c := s.SINRAt(p, s.RX, []Vec2{})
+			if math.Float64bits(float64(a)) != math.Float64bits(float64(b)) ||
+				math.Float64bits(float64(a)) != math.Float64bits(float64(c)) {
+				t.Fatalf("p=%v: SINRAt without interferers %v/%v != SNRAt %v", p, b, c, a)
+			}
+		}
+	}
+	if a, b := s.SNR(Vec2{0.5, 0.5}), s.SINR(Vec2{0.5, 0.5}, nil); a != b {
+		t.Errorf("SINR convenience = %v, want %v", b, a)
+	}
+}
+
+func TestSINRAtBelowSNRAt(t *testing.T) {
+	// Any interferer strictly lowers the ratio, and more interferers
+	// lower it further.
+	s := PaperScene()
+	p := Vec2{0.5, 0.7}
+	snr := s.SNRAt(p, s.RX)
+	one := s.SINRAt(p, s.RX, []Vec2{{2, 2}})
+	two := s.SINRAt(p, s.RX, []Vec2{{2, 2}, {0, 0}})
+	if !(one < snr) {
+		t.Errorf("one interferer: SINR %v not below SNR %v", one, snr)
+	}
+	if !(two < one) {
+		t.Errorf("second interferer raised the ratio: %v !< %v", two, one)
+	}
+	// A close interferer hurts more than a distant one.
+	near := s.SINRAt(p, s.RX, []Vec2{{1.1, 0.5}})
+	far := s.SINRAt(p, s.RX, []Vec2{{10, 10}})
+	if !(near < far) {
+		t.Errorf("near interferer %v not below far %v", near, far)
+	}
+}
+
+func TestSINRAtDegenerateGeometry(t *testing.T) {
+	// Coincident positions everywhere must stay finite (clamped to the
+	// 1 cm near field), never NaN or a panic: tag on the TX antenna, tag
+	// on the RX antenna, interferer on the RX antenna, and all of them at
+	// once.
+	s := PaperScene()
+	cases := []struct {
+		name string
+		p    Vec2
+		ifs  []Vec2
+	}{
+		{"tag on TX", s.TX, []Vec2{{2, 2}}},
+		{"tag on RX", s.RX, []Vec2{{2, 2}}},
+		{"interferer on RX", Vec2{0.5, 0.5}, []Vec2{s.RX}},
+		{"everything coincident", s.RX, []Vec2{s.RX, s.TX}},
+	}
+	for _, tc := range cases {
+		got := s.SINRAt(tc.p, s.RX, tc.ifs)
+		if math.IsNaN(float64(got)) {
+			t.Errorf("%s: SINRAt returned NaN", tc.name)
+		}
+		if math.IsInf(float64(got), 1) {
+			t.Errorf("%s: SINRAt returned +Inf", tc.name)
+		}
+	}
+	// The single-TX helpers get the same guard (this is the degenerate-
+	// geometry coverage the pre-net code never pinned).
+	for _, p := range []Vec2{s.TX, s.RX, *s.RXDiv} {
+		if v := s.SNRAt(p, s.RX); math.IsNaN(float64(v)) || math.IsInf(float64(v), 1) {
+			t.Errorf("SNRAt(%v) = %v, want finite or −Inf", p, v)
+		}
+		if v := s.SNRDiversity(p); math.IsNaN(float64(v)) || math.IsInf(float64(v), 1) {
+			t.Errorf("SNRDiversity(%v) = %v, want finite or −Inf", p, v)
+		}
+	}
+}

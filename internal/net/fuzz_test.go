@@ -1,0 +1,95 @@
+package net
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"braidio/internal/energy"
+	"braidio/internal/field"
+	"braidio/internal/units"
+)
+
+// typedPlanError reports whether err is one of net.Plan's documented
+// failure modes. Anything else escaping Plan is a contract violation.
+func typedPlanError(err error) bool {
+	for _, want := range []error{
+		ErrNoHubs, ErrEmptyHub, ErrBadPosition, ErrBadLoad,
+		ErrBadDevice, ErrCoincident, ErrBadRun,
+	} {
+		if errors.Is(err, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzPlan throws adversarial two-hub topologies at net.Plan — NaN and
+// infinite coordinates, negative loads, zero-capacity devices, members
+// stacked on hubs, negative slices — and requires the typed-error
+// contract: Plan either succeeds with finite, deterministic output or
+// returns one of the package's typed errors. It never panics.
+func FuzzPlan(f *testing.F) {
+	f.Add(0.0, 0.0, 1.6, 0.0, 0.3, 0.1, 20000.0, 6.55, 0.78, 300.0)
+	f.Add(1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1000.0, 6.55, 0.78, 300.0)       // everything coincident
+	f.Add(math.NaN(), 0.0, 1.0, 0.0, 0.5, 0.0, 1000.0, 6.55, 0.78, 60.0) // NaN position
+	f.Add(0.0, 0.0, math.Inf(1), 0.0, 0.5, 0.0, 1000.0, 6.55, 0.78, 60.0)
+	f.Add(0.0, 0.0, 2000.0, 0.0, 1800.0, 0.0, -5.0, 6.55, 0.78, 300.0) // negative load
+	f.Add(0.0, 0.0, 1.0, 0.0, 0.5, 0.0, 1000.0, 0.0, 0.78, 300.0)      // zero-capacity hub
+	f.Add(0.0, 0.0, 1.0, 0.0, 0.5, 0.0, 1000.0, 6.55, -1.0, 300.0)     // negative member battery
+	f.Add(0.0, 0.0, 1.0, 0.0, 0.5, 0.0, 1000.0, 6.55, 0.78, -10.0)     // negative slice
+	f.Add(1e308, 1e308, -1e308, -1e308, 0.0, 0.0, 1e18, 6.55, 0.78, 1e18)
+	f.Fuzz(func(t *testing.T, h0x, h0y, h1x, h1y, mx, my, load, hubWh, memWh float64, slice float64) {
+		topo := &Topology{Hubs: []Hub{
+			{
+				Device: energy.Device{Name: "fuzz-hub", Capacity: units.WattHour(hubWh)},
+				Pos:    field.Vec2{X: h0x, Y: h0y},
+				Members: []Member{
+					{
+						Device: energy.Device{Name: "fuzz-member", Capacity: units.WattHour(memWh)},
+						Pos:    field.Vec2{X: mx, Y: my},
+						Load:   units.BitRate(load),
+					},
+				},
+			},
+			{
+				Device: energy.Device{Name: "fuzz-hub", Capacity: units.WattHour(hubWh)},
+				Pos:    field.Vec2{X: h1x, Y: h1y},
+				Members: []Member{
+					{
+						Device: energy.Device{Name: "fuzz-member", Capacity: units.WattHour(memWh)},
+						Pos:    field.Vec2{X: mx + 0.25, Y: my - 0.25},
+						Load:   units.BitRate(load),
+					},
+				},
+			},
+		}}
+		p, err := Plan(topo, Config{Workers: 2}, units.Second(slice))
+		if err != nil {
+			if !typedPlanError(err) {
+				t.Fatalf("untyped error escaped Plan: %v", err)
+			}
+			return
+		}
+		for i, mp := range p.Members {
+			if math.IsNaN(mp.Bits) || mp.Bits < 0 {
+				t.Fatalf("member %d: bad planned bits %v", i, mp.Bits)
+			}
+			if math.IsNaN(mp.InterferenceMW) || mp.InterferenceMW < 0 {
+				t.Fatalf("member %d: bad interference %v", i, mp.InterferenceMW)
+			}
+			if math.IsNaN(float64(mp.DirectTX)) || math.IsNaN(float64(mp.RelayTX)) {
+				t.Fatalf("member %d: NaN energy price %+v", i, mp)
+			}
+		}
+		// A successful plan is deterministic: replanning the same inputs
+		// yields the same bits.
+		again, err := Plan(topo, Config{Workers: 7}, units.Second(slice))
+		if err != nil {
+			t.Fatalf("plan succeeded then failed on identical inputs: %v", err)
+		}
+		if p.Digest() != again.Digest() {
+			t.Fatalf("plan digest unstable: %#x != %#x", p.Digest(), again.Digest())
+		}
+	})
+}

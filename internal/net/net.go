@@ -1,0 +1,418 @@
+// Package net scales Braidio from one star to a network of them: many
+// hubs, each serving its own braided members, sharing one physical
+// channel. Three couplings between stars — all absent from the
+// isolated-fleet engine (internal/hub) — are modeled and scheduled:
+//
+//   - Shared carriers. A backscatter tag does not care whose carrier it
+//     reflects. When a neighboring hub is already transmitting, a
+//     member's braid can ride that hub's carrier (phy.SharedCarrierLink):
+//     the home hub listens with its passive envelope chain instead of
+//     funding the 129 mW monostatic reader, moving the carrier bill to
+//     the donor who was paying it anyway. The Eq. (1) solve then sees a
+//     hub-side backscatter cost three orders of magnitude cheaper.
+//
+//   - Interference. Every concurrently emitting hub raises the noise
+//     floor at every other hub's receiver. The scheduler aggregates the
+//     co-channel carrier power arriving at each receiver and threads it
+//     through the link characterization as phy.Model.Interference, so
+//     rates, BERs, and per-bit costs degrade exactly as rf.SINR says
+//     they should. With no interferers the path is gated, not
+//     recomputed: results are bit-identical to the isolated model.
+//
+//   - Relays. A member out of its home hub's range (or facing a brutal
+//     direct link) can braid to a nearer foreign hub, which forwards
+//     over the hub-to-hub trunk: two chained core.Optimize solves, with
+//     per-hop energy billed to member, via, and home respectively. The
+//     planner picks relay over direct only when it strictly lowers the
+//     member's energy per bit — or when direct is infeasible.
+//
+// Plan appraises one round without draining anything (the testable,
+// fuzzable entry point); Network.Run executes rounds against real
+// batteries with the same two-phase determinism contract as hub.Run:
+// plan concurrently against immutable snapshots writing only index-owned
+// state, commit sequentially in topology order. Results are
+// bit-identical at any Workers count, and with interference, carrier
+// sharing, and relays all disabled the per-hub arithmetic reduces
+// exactly — same canonical link slices, same memo behavior, same commit
+// order — to an isolated hub.Run per hub.
+package net
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"braidio/internal/core"
+	"braidio/internal/energy"
+	"braidio/internal/field"
+	"braidio/internal/linkcache"
+	"braidio/internal/obs"
+	"braidio/internal/phy"
+	"braidio/internal/units"
+)
+
+// Member is one wearable anchored to a home hub.
+type Member struct {
+	// Device identifies the wearable.
+	Device energy.Device
+	// Pos is the member's position in the shared plane.
+	Pos field.Vec2
+	// Load is the member's offered traffic in payload bits per second of
+	// wall-clock time.
+	Load units.BitRate
+}
+
+// Hub is one energy-rich device serving a set of members.
+type Hub struct {
+	// Device identifies the hub.
+	Device energy.Device
+	// Pos is the hub's position in the shared plane.
+	Pos field.Vec2
+	// Members are the wearables homed on this hub.
+	Members []Member
+}
+
+// Topology is the static geometry of a network: hubs, their members,
+// and everyone's position. All distances the scheduler uses derive from
+// the positions; there are no free distance parameters to disagree with
+// the geometry.
+type Topology struct {
+	Hubs []Hub
+}
+
+// Typed validation errors. Plan and New reject malformed topologies
+// with these (wrapped with context) and never panic — the fuzz harness
+// pins that contract.
+var (
+	// ErrNoHubs reports an empty topology.
+	ErrNoHubs = errors.New("net: topology has no hubs")
+	// ErrEmptyHub reports a hub with no members.
+	ErrEmptyHub = errors.New("net: hub has no members")
+	// ErrBadPosition reports a NaN or infinite coordinate.
+	ErrBadPosition = errors.New("net: non-finite position")
+	// ErrBadLoad reports a non-positive or non-finite member load.
+	ErrBadLoad = errors.New("net: non-positive load")
+	// ErrBadDevice reports a device whose battery capacity is not a
+	// positive finite number (energy.NewBattery would panic).
+	ErrBadDevice = errors.New("net: non-positive device capacity")
+	// ErrCoincident reports two nodes (hub or member) at the exact same
+	// position. Near-coincidence is fine — derived distances are clamped
+	// to MinDistance — but exact duplicates are almost always a topology
+	// generation bug, and the error is cheap to act on.
+	ErrCoincident = errors.New("net: coincident node positions")
+	// ErrBadRun reports an invalid horizon, slice, or round count.
+	ErrBadRun = errors.New("net: invalid horizon or rounds")
+)
+
+// ErrMemberQuarantined reports that a member was removed from
+// scheduling after exhausting its strike budget. MemberResult.Err wraps
+// it together with the final failure's cause.
+var ErrMemberQuarantined = errors.New("net: member quarantined")
+
+// MinDistance is the near-field clamp applied to every derived
+// distance: the free-space model (and its d⁻² interference aggregate)
+// diverges as d→0, and rf.FreeSpacePathLoss rejects d ≤ 0 outright.
+// 1 cm matches field.Scene's near-field clamp.
+const MinDistance units.Meter = 0.01
+
+// DefaultCarrierShareRange bounds the donor search: only emitting hubs
+// within this distance of the member are considered as carrier donors.
+// The bistatic link budget (phy.SharedCarrierLink) is the real gate —
+// this only caps the search radius.
+const DefaultCarrierShareRange units.Meter = 5
+
+// defaultQuarantineStrikes matches hub.Run's strike budget.
+const defaultQuarantineStrikes = 3
+
+// Config tunes the network scheduler. The zero value (plus a nil Model)
+// is a working default: calibrated PHY, GOMAXPROCS workers, all three
+// network couplings enabled.
+type Config struct {
+	// Model is the calibrated PHY; nil selects phy.NewModel(). A nonzero
+	// Model.Interference acts as an ambient noise-raising floor that the
+	// scheduler's per-round aggregate adds on top of.
+	Model *phy.Model
+	// Workers bounds plan-phase concurrency: 0 selects GOMAXPROCS, 1
+	// plans sequentially. Results are bit-identical at any value.
+	Workers int
+	// QuarantineStrikes is the consecutive-failure budget before a
+	// member is quarantined; zero means the default of three.
+	QuarantineStrikes int
+	// AllocationTolerance is propagated to every member braid (see
+	// core.Braid.AllocationTolerance).
+	AllocationTolerance float64
+	// CarrierShareRange caps the donor search radius; zero or negative
+	// selects DefaultCarrierShareRange.
+	CarrierShareRange units.Meter
+	// DisableInterference ignores cross-hub interference: every link is
+	// characterized against the isolated-pair model.
+	DisableInterference bool
+	// DisableCarrierShare never rides a neighbor's carrier.
+	DisableCarrierShare bool
+	// DisableRelay never considers 2-hop forwarding. With all three
+	// Disable flags set, a Run reduces bit-for-bit to an isolated
+	// hub.Run per hub.
+	DisableRelay bool
+	// Obs, when non-nil, receives network counters and is propagated to
+	// every member braid. Nil falls back to the process default recorder.
+	Obs *obs.Recorder
+}
+
+// Validate checks a topology against the typed error set. It is called
+// by New (and hence Plan); exported so generators can pre-check.
+func Validate(t *Topology) error {
+	if t == nil || len(t.Hubs) == 0 {
+		return ErrNoHubs
+	}
+	checkPos := func(p field.Vec2, what string) error {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return fmt.Errorf("%w: %s at (%v, %v)", ErrBadPosition, what, p.X, p.Y)
+		}
+		return nil
+	}
+	checkDev := func(d energy.Device, what string) error {
+		c := float64(d.Capacity)
+		if !(c > 0) || math.IsInf(c, 1) {
+			return fmt.Errorf("%w: %s %q capacity %v Wh", ErrBadDevice, what, d.Name, c)
+		}
+		return nil
+	}
+	seen := make(map[field.Vec2]string, len(t.Hubs)*4)
+	for h := range t.Hubs {
+		hub := &t.Hubs[h]
+		if len(hub.Members) == 0 {
+			return fmt.Errorf("%w: hub %d (%s)", ErrEmptyHub, h, hub.Device.Name)
+		}
+		if err := checkPos(hub.Pos, fmt.Sprintf("hub %d", h)); err != nil {
+			return err
+		}
+		if err := checkDev(hub.Device, "hub"); err != nil {
+			return err
+		}
+		if prev, dup := seen[hub.Pos]; dup {
+			return fmt.Errorf("%w: hub %d and %s", ErrCoincident, h, prev)
+		}
+		seen[hub.Pos] = fmt.Sprintf("hub %d", h)
+		for j := range hub.Members {
+			m := &hub.Members[j]
+			what := fmt.Sprintf("member %d/%d", h, j)
+			if err := checkPos(m.Pos, what); err != nil {
+				return err
+			}
+			if err := checkDev(m.Device, "member"); err != nil {
+				return err
+			}
+			l := float64(m.Load)
+			if !(l > 0) || math.IsInf(l, 1) {
+				return fmt.Errorf("%w: %s load %v", ErrBadLoad, what, l)
+			}
+			if prev, dup := seen[m.Pos]; dup {
+				return fmt.Errorf("%w: %s and %s", ErrCoincident, what, prev)
+			}
+			seen[m.Pos] = what
+		}
+	}
+	return nil
+}
+
+// clampDist applies the near-field floor to a derived distance.
+func clampDist(d float64) units.Meter {
+	if !(d > float64(MinDistance)) {
+		return MinDistance
+	}
+	return units.Meter(d)
+}
+
+// hubState is one hub's per-round sequential state.
+type hubState struct {
+	slotLo, slotHi int
+	alive          bool
+	emitting       bool
+	snap           energy.Battery
+}
+
+// relayPlan is a slot's appraised 2-hop forwarding decision: the via
+// hub, the planned bits, and the three per-bit bills the commit phase
+// charges — member (hop-1 TX), via (hop-1 RX + hop-2 TX, one battery),
+// home (hop-2 RX). The per-hop costs come verbatim from the two chained
+// core.Optimize solves, so relay accounting is exactly the sum of two
+// single-hop solves.
+type relayPlan struct {
+	ok                            bool
+	via                           int
+	bits                          float64
+	txPerBit, viaPerBit, rxPerBit float64
+	modeShare                     [phy.NumModes]float64
+}
+
+// slot is one (hub, member) pair's scratch: its persistent braid,
+// plan-phase battery copies, private link buffers for interfered /
+// carrier-shared rounds, and the round verdict the commit consumes.
+// Everything here is owned by the slot's index — the plan phase may
+// write it from any worker without synchronization.
+type slot struct {
+	hub, member int
+	homeDist    units.Meter
+	toHub       []units.Meter // clamped distance to every hub
+
+	braid    core.Braid
+	memoBase bool // braid's constructed DisableAllocationMemo
+	scr      core.RunScratch
+	plan     core.Result
+	planB1   energy.Battery
+	planB2   energy.Battery
+	alloc    core.Allocation // direct / relay appraisal target
+	alloc2   core.Allocation // relay hop-2 appraisal target
+
+	// priv backs the slot's interfered or carrier-shared link set. It is
+	// deliberately NOT the canonical linkcache slice, so the braid's
+	// allocation memo is disabled for such rounds (the buffer address is
+	// stable across rounds while its contents change — exactly the
+	// stale-reuse hazard the memo's slice-identity check cannot see).
+	priv      []phy.ModeLink
+	relayBuf  []phy.ModeLink // hop-1 characterization scratch
+	relayBuf2 []phy.ModeLink // hop-2 characterization scratch
+
+	// Round verdict, reset in phase 0.
+	err                          error
+	active                       bool
+	skipQuarantined, skipStarved bool
+	private                      bool
+	mw                           float64
+	donor                        int
+	shared                       phy.ModeLink
+	sharedOK                     bool
+	links                        []phy.ModeLink
+	op                           Op
+	directTX                     float64
+	directBits                   float64
+	relay                        relayPlan
+}
+
+// Network is a constructed scheduler over a validated topology. Create
+// with New, then Run (or PlanRound). A Network owns its scratch and is
+// not safe for concurrent use; the topology must not be mutated while
+// the Network is alive.
+type Network struct {
+	cfg     Config
+	model   *phy.Model
+	view    *linkcache.View
+	topo    *Topology
+	hubs    []hubState
+	slots   []slot
+	strikes []int
+	batch   core.BatchScratch
+	// hubDist[a][b] is the clamped hub-to-hub trunk distance; intMW[a][b]
+	// is the co-channel carrier power (linear mW, fade-derated) hub a's
+	// emission lands at hub b's receiver — precomputed once, geometry is
+	// static.
+	hubDist [][]units.Meter
+	intMW   [][]float64
+
+	strikeLimit  int
+	carrierRange units.Meter
+}
+
+// New validates the topology and builds a scheduler over it.
+func New(t *Topology, cfg Config) (*Network, error) {
+	if err := Validate(t); err != nil {
+		return nil, err
+	}
+	if cfg.Model == nil {
+		cfg.Model = phy.NewModel()
+	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
+	}
+	n := &Network{
+		cfg:          cfg,
+		model:        cfg.Model,
+		view:         linkcache.NewView(cfg.Model),
+		topo:         t,
+		strikeLimit:  cfg.QuarantineStrikes,
+		carrierRange: cfg.CarrierShareRange,
+	}
+	if n.strikeLimit <= 0 {
+		n.strikeLimit = defaultQuarantineStrikes
+	}
+	if n.carrierRange <= 0 {
+		n.carrierRange = DefaultCarrierShareRange
+	}
+	nh := len(t.Hubs)
+	n.hubs = make([]hubState, nh)
+	n.hubDist = make([][]units.Meter, nh)
+	n.intMW = make([][]float64, nh)
+	for a := 0; a < nh; a++ {
+		n.hubDist[a] = make([]units.Meter, nh)
+		n.intMW[a] = make([]float64, nh)
+		for b := 0; b < nh; b++ {
+			if a == b {
+				continue
+			}
+			d := clampDist(t.Hubs[a].Pos.Dist(t.Hubs[b].Pos))
+			n.hubDist[a][b] = d
+			rx := n.model.OneWay.Received(phy.CarrierPower, d).Sub(n.model.FadeMargin)
+			n.intMW[a][b] = rx.Watts().Milliwatts()
+		}
+	}
+	lo := 0
+	for h := range t.Hubs {
+		hub := &t.Hubs[h]
+		n.hubs[h].slotLo = lo
+		for j := range hub.Members {
+			m := &hub.Members[j]
+			s := slot{
+				hub:      h,
+				member:   j,
+				homeDist: clampDist(m.Pos.Dist(hub.Pos)),
+				toHub:    make([]units.Meter, nh),
+				donor:    -1,
+			}
+			for v := 0; v < nh; v++ {
+				s.toHub[v] = clampDist(m.Pos.Dist(t.Hubs[v].Pos))
+			}
+			s.braid = core.DefaultBraid(n.model, s.homeDist)
+			s.braid.Obs = cfg.Obs
+			s.braid.AllocationTolerance = cfg.AllocationTolerance
+			s.memoBase = s.braid.DisableAllocationMemo
+			n.slots = append(n.slots, s)
+			lo++
+		}
+		n.hubs[h].slotHi = lo
+	}
+	n.strikes = make([]int, len(n.slots))
+	return n, nil
+}
+
+// Slots returns the number of (hub, member) pairs the scheduler serves.
+func (n *Network) Slots() int { return len(n.slots) }
+
+// interferenceAt aggregates the co-channel carrier power (linear mW)
+// arriving at hub rx's receiver from every emitting hub, excluding rx
+// itself and up to one additional hub (the carrier donor whose emission
+// is the wanted signal, or the relay transmitter). Summation is in
+// fixed hub-index order, so the aggregate is deterministic.
+func (n *Network) interferenceAt(rx, exclude int) float64 {
+	mw := 0.0
+	for h := range n.hubs {
+		if h == rx || h == exclude || !n.hubs[h].emitting {
+			continue
+		}
+		mw += n.intMW[h][rx]
+	}
+	return mw
+}
+
+// newBatteries builds fresh batteries for every hub and member slot.
+func (n *Network) newBatteries() (hubBatts, memberBatts []*energy.Battery) {
+	hubBatts = make([]*energy.Battery, len(n.topo.Hubs))
+	for h := range n.topo.Hubs {
+		hubBatts[h] = n.topo.Hubs[h].Device.NewBattery()
+	}
+	memberBatts = make([]*energy.Battery, len(n.slots))
+	for i := range n.slots {
+		s := &n.slots[i]
+		memberBatts[i] = n.topo.Hubs[s.hub].Members[s.member].Device.NewBattery()
+	}
+	return hubBatts, memberBatts
+}

@@ -276,6 +276,25 @@ type Recorder struct {
 	// HubDeaths counts hub batteries that died mid-run.
 	HubDeaths Counter
 
+	// Network engine series (internal/net) — multi-hub scheduling with
+	// carrier sharing, interference, and 2-hop relays.
+
+	// NetRounds counts network scheduling rounds planned.
+	NetRounds Counter
+	// RelayRounds counts member-rounds committed through a 2-hop relay
+	// (member → neighbor hub → home hub).
+	RelayRounds Counter
+	// CarrierShares counts member-rounds committed with a borrowed
+	// carrier: a neighboring hub's active TX served as the carrier for
+	// this braid's backscatter link.
+	CarrierShares Counter
+	// InterferedRounds counts member-rounds planned with nonzero
+	// co-channel interference at the receiving hub.
+	InterferedRounds Counter
+	// RelayBits accumulates payload bits delivered over 2-hop relays
+	// (1/256-bit resolution).
+	RelayBits FloatCounter
+
 	// Serve daemon series (internal/serve) — online epoch accounting.
 
 	// ServeRegisters counts admitted member registrations.
@@ -328,6 +347,7 @@ func NewRecorder() *Recorder {
 	r.DrainTX.scale = energyScale
 	r.DrainRX.scale = energyScale
 	r.SwitchEnergy.scale = energyScale
+	r.RelayBits.scale = bitScale
 	r.EnergyPerBit.init(energyPerBitBounds, 1e12)
 	r.LPSolveLatency.init(lpLatencyBounds, 1)
 	r.ServeApplyLatency.init(applyLatencyBounds, 1)

@@ -66,13 +66,14 @@ type Snapshot struct {
 	FramesDelivered, FramesLost, Retransmissions, Probes, Recomputes              uint64
 	Fallbacks, FallbacksSuppressed, BackoffWaits, LinkDeaths                      uint64
 	HubRounds, MemberRounds, Replans, Quarantines, OutageRounds, HubDeaths        uint64
+	NetRounds, RelayRounds, CarrierShares, InterferedRounds                       uint64
 	ServeRegisters, ServeUpdates, ServeSheds, ServeEpochs, ServePlans, ServeClean uint64
 	ServeSnapshots, ServeRotations, ServeRecoveries, ServeTornRecords             uint64
 	ServeJournalErrors                                                            uint64
 
 	// Bits, AirTime, DrainTX, DrainRX, SwitchEnergy are the dequantized
-	// float totals.
-	Bits, AirTime, DrainTX, DrainRX, SwitchEnergy float64
+	// float totals; RelayBits is the 2-hop-relayed subset of Bits.
+	Bits, AirTime, DrainTX, DrainRX, SwitchEnergy, RelayBits float64
 	// RawBits is the fixed-point Bits accumulator verbatim — exactly
 	// reproducible, so golden tests pin this rather than the float.
 	RawBits uint64
@@ -120,6 +121,11 @@ func (r *Recorder) Snapshot() Snapshot {
 		Quarantines:         r.Quarantines.Load(),
 		OutageRounds:        r.OutageRounds.Load(),
 		HubDeaths:           r.HubDeaths.Load(),
+		NetRounds:           r.NetRounds.Load(),
+		RelayRounds:         r.RelayRounds.Load(),
+		CarrierShares:       r.CarrierShares.Load(),
+		InterferedRounds:    r.InterferedRounds.Load(),
+		RelayBits:           r.RelayBits.Load(),
 		ServeRegisters:      r.ServeRegisters.Load(),
 		ServeUpdates:        r.ServeUpdates.Load(),
 		ServeSheds:          r.ServeSheds.Load(),
@@ -263,6 +269,11 @@ func (s *Snapshot) WriteTable(w io.Writer) error {
 		{"mode switches", fmt.Sprint(s.Switches)},
 		{"hub rounds", fmt.Sprint(s.HubRounds)},
 		{"member rounds", fmt.Sprint(s.MemberRounds)},
+		{"net rounds", fmt.Sprint(s.NetRounds)},
+		{"relay rounds", fmt.Sprint(s.RelayRounds)},
+		{"carrier shares", fmt.Sprint(s.CarrierShares)},
+		{"interfered rounds", fmt.Sprint(s.InterferedRounds)},
+		{"relay bits", fmt.Sprintf("%.4g", s.RelayBits)},
 		{"cache hits/misses", fmt.Sprintf("%d/%d", s.Cache.Hits, s.Cache.Misses)},
 		{"cache evictions", fmt.Sprint(s.Cache.Evictions)},
 	}
@@ -352,6 +363,10 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	counter("braidio_quarantines_total", "Members quarantined.", s.Quarantines)
 	counter("braidio_outage_rounds_total", "Member-rounds lost to injected outages.", s.OutageRounds)
 	counter("braidio_hub_deaths_total", "Hub batteries exhausted mid-run.", s.HubDeaths)
+	counter("braidio_net_rounds_total", "Network scheduling rounds planned.", s.NetRounds)
+	counter("braidio_relay_rounds_total", "Member-rounds committed through a 2-hop relay.", s.RelayRounds)
+	counter("braidio_carrier_shares_total", "Member-rounds committed on a borrowed carrier.", s.CarrierShares)
+	counter("braidio_interfered_rounds_total", "Member-rounds planned under co-channel interference.", s.InterferedRounds)
 	counter("braidio_serve_registers_total", "Member registrations admitted by the serve daemon.", s.ServeRegisters)
 	counter("braidio_serve_updates_total", "Member/hub state updates admitted by the serve daemon.", s.ServeUpdates)
 	counter("braidio_serve_sheds_total", "Requests dropped by serve admission backpressure.", s.ServeSheds)
@@ -372,6 +387,7 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	gauge("braidio_drain_tx_joules", "Energy drawn at the data transmitter.", s.DrainTX)
 	gauge("braidio_drain_rx_joules", "Energy drawn at the data receiver.", s.DrainRX)
 	gauge("braidio_switch_energy_joules", "Mode-switch overhead energy.", s.SwitchEnergy)
+	gauge("braidio_relay_bits", "Payload bits delivered over 2-hop relays.", s.RelayBits)
 	fmt.Fprintf(w, "# HELP braidio_mode_bits Delivered bits per mode.\n# TYPE braidio_mode_bits gauge\n")
 	for _, m := range phy.Modes {
 		fmt.Fprintf(w, "braidio_mode_bits{mode=%q} %s\n", promLabel(m),

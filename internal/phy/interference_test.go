@@ -1,0 +1,130 @@
+package phy
+
+import (
+	"math"
+	"testing"
+
+	"braidio/internal/units"
+)
+
+func TestZeroInterferenceModelBitIdentical(t *testing.T) {
+	// A model with Interference explicitly zero must characterize
+	// bit-identically to the pre-interference model at every distance —
+	// the gate in rf.SINR, verified through the full link pipeline.
+	clean := NewModel()
+	zeroed := NewModel()
+	zeroed.Interference = 0
+	for _, d := range []units.Meter{0.1, 0.3, 0.9, 1.8, 2.4, 3.9, 5.1, 10, 100, 1772} {
+		a := clean.Characterize(d)
+		b := zeroed.Characterize(d)
+		if len(a) != len(b) {
+			t.Fatalf("d=%v: %d links vs %d", float64(d), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("d=%v link %d: %+v != %+v", float64(d), i, a[i], b[i])
+			}
+		}
+		for _, mode := range Modes {
+			for _, r := range Rates {
+				sa := clean.SNR(mode, r, d)
+				sb := zeroed.SNR(mode, r, d)
+				if math.Float64bits(float64(sa)) != math.Float64bits(float64(sb)) {
+					t.Errorf("d=%v %v@%v: SNR %v != %v", float64(d), mode, r, sa, sb)
+				}
+			}
+		}
+	}
+}
+
+func TestInterferenceDegradesLinks(t *testing.T) {
+	m := NewModel()
+	noisy := NewModel()
+	noisy.Interference = 1e-6 // 1 nW of co-channel carrier at the receiver
+	for _, mode := range Modes {
+		for _, r := range Rates {
+			clean := m.SNR(mode, r, 1)
+			dirty := noisy.SNR(mode, r, 1)
+			if !(dirty < clean) {
+				t.Errorf("%v@%v: interfered SNR %v not below clean %v", mode, r, dirty, clean)
+			}
+		}
+	}
+	// Strong interference shrinks operating range, in every mode.
+	jammed := NewModel()
+	jammed.Interference = 1e-3
+	for _, mode := range Modes {
+		if rj, rc := jammed.Range(mode, units.Rate10k), m.Range(mode, units.Rate10k); !(rj < rc) {
+			t.Errorf("%v: jammed range %v not below clean %v", mode, float64(rj), float64(rc))
+		}
+	}
+}
+
+func TestSharedCarrierLinkBudget(t *testing.T) {
+	m := NewModel()
+	// A donor carrier right next to the tag (0.3 m forward) with the data
+	// hop at 0.3 m reverse: comfortably inside the bistatic budget.
+	l, ok := m.SharedCarrierLink(0.3, 0.3)
+	if !ok {
+		t.Fatal("shared-carrier link closed at 0.3/0.3 m should be available")
+	}
+	if l.Mode != ModeBackscatter {
+		t.Errorf("mode = %v, want backscatter", l.Mode)
+	}
+	// The hub-side cost is the passive envelope chain, not the 129 mW
+	// backscatter reader — the carrier bill left this braid.
+	mono := m.Characterize(0.3)
+	var monoBS *ModeLink
+	for i := range mono {
+		if mono[i].Mode == ModeBackscatter {
+			monoBS = &mono[i]
+		}
+	}
+	if monoBS == nil {
+		t.Fatal("no monostatic backscatter link at 0.3 m")
+	}
+	if !(l.R < monoBS.R/100) {
+		t.Errorf("shared-carrier hub cost %v not ≪ monostatic %v", l.R, monoBS.R)
+	}
+	// Same rate as the monostatic link here (0.09 m² path product at
+	// 0.3/0.3 matches the 0.3 m monostatic product), so tag cost is the
+	// same modulator.
+	if l.Rate == monoBS.Rate && l.T != monoBS.T {
+		t.Errorf("tag cost %v != monostatic %v at equal rate", l.T, monoBS.T)
+	}
+
+	// A close donor extends reach past the monostatic range: at 2.6 m the
+	// monostatic round trip (6.76 m² path product) is dead, but a donor
+	// 0.3 m from the tag (0.78 m² product) still closes the link.
+	if _, ok := m.BestRate(ModeBackscatter, 2.6); ok {
+		t.Fatal("monostatic backscatter unexpectedly alive at 2.6 m")
+	}
+	if _, ok := m.SharedCarrierLink(0.3, 2.6); !ok {
+		t.Error("shared carrier 0.3 m from tag should reach a hub at 2.6 m")
+	}
+
+	// And a hopeless geometry refuses.
+	if _, ok := m.SharedCarrierLink(50, 50); ok {
+		t.Error("shared-carrier link at 50/50 m should be out of range")
+	}
+}
+
+func TestSharedCarrierLinkInterference(t *testing.T) {
+	m := NewModel()
+	clean, ok := m.SharedCarrierLink(0.5, 1.0)
+	if !ok {
+		t.Fatal("clean shared link should close at 0.5/1.0 m")
+	}
+	noisy := NewModel()
+	noisy.Interference = 1e-7
+	dirty, ok := noisy.SharedCarrierLink(0.5, 1.0)
+	if ok && dirty.Rate == clean.Rate && !(dirty.BER >= clean.BER) {
+		t.Errorf("interference lowered BER: %v < %v", dirty.BER, clean.BER)
+	}
+	// Enough interference kills the bistatic link entirely.
+	jammed := NewModel()
+	jammed.Interference = 1
+	if _, ok := jammed.SharedCarrierLink(0.5, 1.0); ok {
+		t.Error("1 mW of interference should kill the shared-carrier link")
+	}
+}

@@ -138,6 +138,15 @@ type Model struct {
 	// BER without ARQ accounting, so ideal accounting is the default;
 	// the packet-level MAC and the ARQ ablation bench set this.
 	Retransmit bool
+	// Interference is the total co-channel interference power arriving
+	// at the data receiver, in linear milliwatts — the aggregate of
+	// other hubs' concurrent carriers as computed by the network
+	// scheduler (internal/net). Zero (the default) is the isolated-pair
+	// setting and leaves every SNR bit-identical to the
+	// interference-free model (rf.SINR gates on it rather than
+	// recomputing). Kept as a plain float so Model stays comparable —
+	// the process-global link cache keys on the Model value.
+	Interference float64
 }
 
 // NewModel returns the calibrated model of two Braidio boards in free
@@ -173,11 +182,14 @@ func snrTargetDB(mode Mode, r units.BitRate) units.DB {
 	return units.DBFromRatio(modem.SNRForBER(SchemeAt(mode, r), RangeBERTarget))
 }
 
-// SNR returns the effective per-bit SNR (dB) for a mode/rate at distance
-// d: received power over the mode's calibrated effective noise floor.
+// SNR returns the effective per-bit SINR (dB) for a mode/rate at distance
+// d: received power over the mode's calibrated effective noise floor,
+// raised by the model's co-channel Interference when one is set. With
+// zero Interference this is the plain SNR, bit-identical to the
+// pre-interference model.
 func (m *Model) SNR(mode Mode, r units.BitRate, d units.Meter) units.DB {
 	noise := Sensitivity(mode, r).Sub(snrTargetDB(mode, r))
-	return rf.SNR(m.ReceivedPower(mode, d), noise)
+	return rf.SINR(m.ReceivedPower(mode, d), noise, m.Interference)
 }
 
 // BER returns the analytic bit error rate for a mode/rate at distance d.
@@ -211,10 +223,18 @@ func (m *Model) BestRate(mode Mode, d units.Meter) (units.BitRate, bool) {
 }
 
 // Range returns the maximum distance at which a mode/rate meets
-// RangeBERTarget.
+// RangeBERTarget. Co-channel Interference raises the effective noise
+// floor, so it lifts the required received power by the same factor the
+// SNR path loses — keeping Range consistent with BestRate under
+// interference (zero Interference leaves the sensitivity untouched).
 func (m *Model) Range(mode Mode, r units.BitRate) units.Meter {
 	rx := func(d units.Meter) units.DBm { return m.ReceivedPower(mode, d) }
-	d, ok := rf.RangeForSensitivity(rx, Sensitivity(mode, r), 0.01, 10000)
+	sens := Sensitivity(mode, r)
+	if m.Interference > 0 {
+		noiseMW := math.Pow(10, float64(sens.Sub(snrTargetDB(mode, r)))/10)
+		sens = sens.Add(units.DB(10 * math.Log10(1+m.Interference/noiseMW)))
+	}
+	d, ok := rf.RangeForSensitivity(rx, sens, 0.01, 10000)
 	if !ok {
 		return 0
 	}
@@ -439,6 +459,42 @@ func (m *Model) CharacterizeColumns(cols *LinkColumns, k int, d units.Meter) {
 		n++
 	}
 	cols.Len[k] = int32(n)
+}
+
+// SharedCarrierLink characterizes the backscatter mode when the carrier
+// comes from a *different* hub's active transmitter: the donor's carrier
+// travels dForward to the tag, is modulated, and the sidebands travel
+// dReverse to the data receiver — the bistatic budget of
+// rf.BackscatterLink.Received instead of the monostatic 40·log10(d)
+// round trip. The receiving hub no longer generates the carrier, only
+// envelope-detects, so its per-bit cost drops from the 129 mW
+// backscatter reader to the passive envelope chain at the link's rate —
+// the carrier bill moves off this braid entirely, which is the whole
+// point of sharing. The model's FadeMargin and Interference apply as in
+// SNR. Returns ok=false when no rate meets RangeBERTarget over the
+// bistatic path.
+func (m *Model) SharedCarrierLink(dForward, dReverse units.Meter) (ModeLink, bool) {
+	for _, r := range Rates {
+		rx := m.RoundTrip.Received(CarrierPower, dForward, dReverse).Sub(m.FadeMargin)
+		noise := BackscatterSensitivity(r).Sub(snrTargetDB(ModeBackscatter, r))
+		ber := modem.BERFromDB(SchemeAt(ModeBackscatter, r), rf.SINR(rx, noise, m.Interference))
+		if ber > RangeBERTarget {
+			continue
+		}
+		good := m.goodput(ModeBackscatter, r, ber)
+		if good <= 0 {
+			continue
+		}
+		return ModeLink{
+			Mode: ModeBackscatter,
+			Rate: r,
+			BER:  ber,
+			Good: good,
+			T:    units.PerBit(BackscatterTXPower(r), good),
+			R:    units.PerBit(PassiveRXPower(r), good),
+		}, true
+	}
+	return ModeLink{}, false
 }
 
 // LinkAt characterizes one specific mode/rate at a distance regardless of

@@ -182,6 +182,25 @@ func (b BackscatterLink) ReceivedMonostatic(carrier units.DBm, d units.Meter) un
 // floor.
 func SNR(rx, noise units.DBm) units.DB { return units.DB(rx - noise) }
 
+// SINR returns the signal-to-(noise+interference) ratio given a received
+// power, a noise floor, and the total co-channel interference power at
+// the receiver in linear milliwatts. The powers sum in the linear domain:
+//
+//	SINR = rx − 10·log10(10^(noise/10) + I_mW)
+//
+// Zero (or negative, or NaN) interference takes the SNR path unchanged —
+// gated, not recomputed, so the interference-free result is bit-identical
+// to SNR and downstream golden tests survive the plumbing. Any positive
+// interference strictly raises the floor, so SINR < SNR whenever an
+// interferer is present and SINR ≤ SNR always.
+func SINR(rx, noise units.DBm, interferenceMW float64) units.DB {
+	if !(interferenceMW > 0) {
+		return SNR(rx, noise)
+	}
+	floorMW := math.Pow(10, float64(noise)/10) + interferenceMW
+	return units.DB(float64(rx) - 10*math.Log10(floorMW))
+}
+
 // RangeForSensitivity inverts a link budget: the maximum distance at which
 // the received power still meets the given sensitivity. The slope of the
 // model determines the algebra; this uses bisection so it works for any

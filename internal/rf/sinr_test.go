@@ -1,0 +1,70 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"braidio/internal/units"
+)
+
+func TestSINRZeroInterferenceBitIdenticalToSNR(t *testing.T) {
+	// The zero-interference path must be gated, not recomputed: the
+	// result is the *same bits* as SNR, for any inputs. Golden tests all
+	// over the repo depend on the interference plumbing being invisible
+	// when off.
+	f := func(rx, noise float64) bool {
+		a := SNR(units.DBm(rx), units.DBm(noise))
+		b := SINR(units.DBm(rx), units.DBm(noise), 0)
+		return math.Float64bits(float64(a)) == math.Float64bits(float64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Negative and NaN interference also take the clean path — a
+	// poisoned aggregate must never corrupt the ratio.
+	for _, i := range []float64{-1, math.Inf(-1), math.NaN()} {
+		a := SNR(-40, -90)
+		b := SINR(-40, -90, i)
+		if math.Float64bits(float64(a)) != math.Float64bits(float64(b)) {
+			t.Errorf("SINR(-40,-90,%v) = %v, want SNR path %v", i, b, a)
+		}
+	}
+}
+
+func TestSINRBelowSNR(t *testing.T) {
+	// Any positive interference strictly raises the floor: SINR < SNR.
+	for _, i := range []float64{1e-12, 1e-9, 1e-6, 1e-3, 1} {
+		snr := SNR(-40, -90)
+		sinr := SINR(-40, -90, i)
+		if !(sinr < snr) {
+			t.Errorf("SINR(i=%v) = %v, want < SNR %v", i, sinr, snr)
+		}
+	}
+	// Monotone: more interference, lower ratio.
+	prev := SINR(-40, -90, 1e-12)
+	for _, i := range []float64{1e-9, 1e-6, 1e-3} {
+		cur := SINR(-40, -90, i)
+		if !(cur < prev) {
+			t.Errorf("SINR not monotone decreasing at i=%v: %v !< %v", i, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSINRKnownValue(t *testing.T) {
+	// Interference equal to the noise power doubles the floor: the ratio
+	// drops by exactly 10·log10(2) ≈ 3.0103 dB.
+	noise := units.DBm(-90)
+	noiseMW := math.Pow(10, float64(noise)/10)
+	drop := float64(SNR(-40, noise)) - float64(SINR(-40, noise, noiseMW))
+	if !approx(drop, 10*math.Log10(2), 1e-9) {
+		t.Errorf("I=N dropped the ratio by %v dB, want 3.0103", drop)
+	}
+	// Interference far above the noise floor makes it the floor: SINR ≈
+	// rx − 10·log10(I).
+	sinr := SINR(-40, noise, 1e-3)
+	if !approx(float64(sinr), -40-10*math.Log10(1e-3), 1e-4) {
+		t.Errorf("interference-limited SINR = %v, want ≈ −10", sinr)
+	}
+}
